@@ -1,0 +1,66 @@
+"""Experiment P5 — runtime vs. arity of the recursive predicate.
+
+Section 3.2 cites [Bancilhon and Ramakrishnan 87]: reducing the arity
+of recursive predicates is a first-order performance factor.  This
+sweep makes the relationship explicit: the same reachability recursion
+carries k = 0..3 existential payload columns; projection pushing always
+reduces it to the k = 0 form.
+
+Expected shape: cost grows steeply with k (the fact space is multiplied
+by |domain| per extra column); the optimized program's cost is flat in
+k.  This is the ablation behind every other bench in the suite.
+"""
+
+import pytest
+
+from repro.core.pipeline import optimize
+from repro.datalog import Database, parse
+from repro.engine import evaluate
+from repro.workloads.graphs import random_digraph
+
+PAYLOAD = 6  # values per payload column
+NODES = 24
+
+
+def program_with_payload(k: int):
+    """Reachability carrying k payload columns picked at the edge."""
+    pay_vars = [f"T{i}" for i in range(k)]
+    head = ", ".join(["X", "Y", *pay_vars])
+    tags = ", ".join(
+        f"tag{i}(Y, {v})" for i, v in enumerate(pay_vars)
+    )
+    exit_rule = f"reach({head}) :- edge(X, Y){', ' + tags if tags else ''}."
+    rec_head = ", ".join(["X", "Y", *pay_vars])
+    rec_rule = f"reach({rec_head}) :- edge(X, Z), reach({', '.join(['Z', 'Y', *pay_vars])})."
+    query_args = ", ".join(["X", "Y"] + ["_"] * k)
+    return parse(f"{exit_rule}\n{rec_rule}\n?- reach({query_args}).")
+
+
+def make_db(k: int, seed=0):
+    data = {"edge": random_digraph(NODES, 3 * NODES, seed=seed)}
+    for i in range(k):
+        data[f"tag{i}"] = [(n, (n + i) % PAYLOAD + 100) for n in range(NODES)] + [
+            (n, (n * 7 + i) % PAYLOAD) for n in range(NODES)
+        ]
+    return Database.from_dict(data)
+
+
+@pytest.mark.parametrize("k", [0, 1, 2])
+def test_arity_sweep_original(benchmark, k):
+    program = program_with_payload(k)
+    db = make_db(k)
+    benchmark.group = f"arity k={k}"
+    benchmark(lambda: evaluate(program, db))
+
+
+@pytest.mark.parametrize("k", [0, 1, 2])
+def test_arity_sweep_optimized(benchmark, k):
+    program = program_with_payload(k)
+    result = optimize(program)
+    db = make_db(k)
+    benchmark.group = f"arity k={k}"
+    bench_result = benchmark(lambda: result.evaluate(db))
+    assert result.answers(db) == result.reference_answers(db)
+    if k > 0:
+        original = evaluate(program, db).stats
+        assert bench_result.stats.facts_derived < original.facts_derived

@@ -1,0 +1,66 @@
+"""Ablation — compile-time cost of each optimizer phase.
+
+DESIGN.md calls out the pipeline's phase structure; this bench measures
+what each phase costs at compile time on the paper's example programs,
+so the run-time wins of the other benches can be weighed against the
+one-off optimization cost.  The deletion phase dominates (it runs chase
+fixpoints); adornment, component splitting and projection are linear
+passes.
+"""
+
+import pytest
+
+from repro.core import adorn, delete_rules, push_projections
+from repro.core.components import split_components
+from repro.core.pipeline import optimize
+from repro.workloads.paper_examples import (
+    example1_program,
+    example2_program,
+    example5_program,
+    example7_adorned,
+)
+
+PROGRAMS = {
+    "example1": example1_program,
+    "example2": example2_program,
+    "example5": example5_program,
+}
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_phase_adorn(benchmark, name):
+    program = PROGRAMS[name]()
+    benchmark.group = f"compile {name}"
+    benchmark(lambda: adorn(program))
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_phase_split_and_project(benchmark, name):
+    adorned = adorn(PROGRAMS[name]())
+    benchmark.group = f"compile {name}"
+    benchmark(lambda: push_projections(split_components(adorned).program))
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_phase_deletion(benchmark, name):
+    projected = push_projections(split_components(adorn(PROGRAMS[name]())).program)
+    benchmark.group = f"compile {name}"
+    benchmark(lambda: delete_rules(projected))
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_full_pipeline_compile(benchmark, name):
+    program = PROGRAMS[name]()
+    benchmark.group = f"compile {name}"
+    benchmark(lambda: optimize(program))
+
+
+def test_summary_machinery_on_example7(benchmark):
+    """Lemma 5.1/5.3 on the paper's most intricate example."""
+    program = example7_adorned()
+    benchmark.group = "compile example7"
+    benchmark(
+        lambda: delete_rules(
+            program, method="lemma53", use_chase=False, use_sagiv=False
+        )
+    )

@@ -1,0 +1,65 @@
+"""Ablation — compile-time cost vs. power of the deletion engines.
+
+Algorithm 5.2's summary tests are meant to be *cheap* (finite summary
+saturation, no evaluation); Sagiv's test and the Example-6 chase each
+run fixpoint evaluations per candidate.  This bench measures, per
+method, what a full deletion pass costs on the paper's example programs
+and how many rules it removes — the price/power table behind the
+pipeline's cheapest-first ordering.
+"""
+
+import pytest
+
+from repro.core import delete_rules
+from repro.workloads.paper_examples import (
+    adorned_from_text,
+    example5_adorned_text,
+    example7_adorned,
+    example8_adorned,
+    example10_adorned,
+)
+
+PROGRAMS = {
+    "example5": lambda: adorned_from_text(example5_adorned_text()),
+    "example7": example7_adorned,
+    "example8": example8_adorned,
+    "example10": example10_adorned,
+}
+
+METHODS = {
+    "summaries51": dict(method="lemma51", use_chase=False, use_sagiv=False),
+    "summaries53": dict(method="lemma53", use_chase=False, use_sagiv=False),
+    "sagiv": dict(method="lemma53", use_chase=False, use_sagiv=True),
+    "full(chase)": dict(method="lemma53", use_chase=True, use_sagiv=True),
+}
+
+# how many rules each method is expected to delete (including cascade),
+# pinned so power regressions fail the bench
+EXPECTED = {
+    ("example5", "summaries51"): 0,
+    ("example5", "summaries53"): 0,
+    ("example5", "sagiv"): 0,
+    ("example5", "full(chase)"): 3,
+    ("example7", "summaries51"): 4,
+    ("example7", "summaries53"): 4,
+    ("example10", "summaries51"): 0,
+    ("example10", "summaries53"): 2,
+}
+
+
+@pytest.mark.parametrize("program_name", sorted(PROGRAMS))
+@pytest.mark.parametrize("method_name", sorted(METHODS))
+def test_deletion_method(benchmark, program_name, method_name):
+    make = PROGRAMS[program_name]
+    options = METHODS[method_name]
+    benchmark.group = f"deletion {program_name}"
+
+    report = benchmark(lambda: delete_rules(make(), **options))
+
+    expected = EXPECTED.get((program_name, method_name))
+    if expected is not None:
+        assert report.count == expected, (program_name, method_name)
+    # monotone power: the full engine never deletes less than summaries
+    if method_name == "full(chase)":
+        weakest = delete_rules(make(), **METHODS["summaries51"])
+        assert report.count >= weakest.count

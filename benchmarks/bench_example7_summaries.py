@@ -1,0 +1,55 @@
+"""Experiment E7 — the summary-based deletions of Example 7.
+
+The Lemma 5.1 deletions (plus cascade) remove the whole ``p1`` layer
+from the mutually recursive program; the reduced program answers the
+query from ``p@nn`` and ``b1`` alone.  This bench measures both the
+run-time effect and the compile-time cost of the summary machinery
+(Algorithm 5.1 is a fixpoint over a finite summary space — it should
+be cheap).
+"""
+
+import pytest
+
+from repro.core import delete_rules
+from repro.engine import evaluate
+from repro.workloads.edb import random_edb
+from repro.workloads.paper_examples import example7_adorned
+
+SIZES = [(200, 40), (800, 80)]  # (rows per base relation, domain)
+
+
+def programs():
+    original = example7_adorned()
+    reduced = delete_rules(
+        original, method="lemma51", use_chase=False, use_sagiv=False
+    ).program
+    return original.to_program(), reduced.to_program()
+
+
+@pytest.mark.parametrize("rows,domain", SIZES)
+def test_example7_original(benchmark, rows, domain):
+    original, _ = programs()
+    db = random_edb(original, rows=rows, domain=domain, seed=7)
+    benchmark.group = f"example7 rows={rows}"
+    benchmark(lambda: evaluate(original, db))
+
+
+@pytest.mark.parametrize("rows,domain", SIZES)
+def test_example7_reduced(benchmark, rows, domain):
+    original, reduced = programs()
+    db = random_edb(original, rows=rows, domain=domain, seed=7)
+    benchmark.group = f"example7 rows={rows}"
+    result = benchmark(lambda: evaluate(reduced, db))
+    reference = evaluate(original, db)
+    assert result.answers() == reference.answers()
+    assert result.stats.facts_derived <= reference.stats.facts_derived
+    assert result.stats.rule_firings < reference.stats.rule_firings
+
+
+def test_example7_compile_time(benchmark):
+    original = example7_adorned()
+    benchmark.group = "example7 compile"
+    report = benchmark(
+        lambda: delete_rules(original, method="lemma51", use_chase=False, use_sagiv=False)
+    )
+    assert len(report.program) == 3

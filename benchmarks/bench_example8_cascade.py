@@ -1,0 +1,44 @@
+"""Experiment E8 — compile-time emptiness detection (Example 8).
+
+Example 8's deletion chain discovers at *compile time* that the answer
+set is empty (the recursive ``p1`` has no exit rule once Lemma 5.1
+removes it).  This bench compares answering the query by evaluation of
+the original program vs. optimizing first: the optimizer's cascade
+replaces an entire fixpoint computation with a static analysis.
+"""
+
+import pytest
+
+from repro.core import delete_rules
+from repro.engine import evaluate
+from repro.workloads.edb import random_edb
+from repro.workloads.paper_examples import example8_empty_adorned
+
+SIZES = [(300, 30), (1200, 60)]
+
+
+@pytest.mark.parametrize("rows,domain", SIZES)
+def test_example8_evaluate_empty_program(benchmark, rows, domain):
+    """Baseline: run the fixpoint to discover the empty answer."""
+    original = example8_empty_adorned().to_program()
+    db = random_edb(original, rows=rows, domain=domain, seed=8)
+    benchmark.group = f"example8 rows={rows}"
+    result = benchmark(lambda: evaluate(original, db))
+    assert not result.answers()
+
+
+@pytest.mark.parametrize("rows,domain", SIZES)
+def test_example8_compile_time_detection(benchmark, rows, domain):
+    """Optimizer: detect emptiness statically, then 'evaluate' the
+    empty program (a no-op independent of the database size)."""
+    adorned = example8_empty_adorned()
+    db = random_edb(adorned.to_program(), rows=rows, domain=domain, seed=8)
+    benchmark.group = f"example8 rows={rows}"
+
+    def optimize_and_answer():
+        report = delete_rules(adorned, use_chase=False, use_sagiv=False)
+        assert len(report.program) == 0
+        return frozenset()
+
+    answers = benchmark(optimize_and_answer)
+    assert answers == evaluate(adorned.to_program(), db).answers()

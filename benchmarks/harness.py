@@ -1,0 +1,47 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark file regenerates one row of the experiment index in
+DESIGN.md.  The paper reports no absolute numbers (it is a theory
+paper), so each bench measures the *direction and magnitude* of one of
+the paper's performance claims: wall-clock time via pytest-benchmark,
+plus the engine's work counters (facts derived, duplicates, join
+probes) which are the quantities the paper's arguments are actually
+about.  Shape assertions (who wins) are made in the test body, so a
+regression that flips a claim fails the suite rather than silently
+producing a worse table.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datalog import Database, Program
+from repro.engine import EngineOptions, EvalStats, evaluate
+
+__all__ = ["measure", "Workload", "summarize"]
+
+
+@dataclass
+class Workload:
+    """A named (program, database, options) evaluation target."""
+
+    label: str
+    program: Program
+    db: Database
+    options: EngineOptions = EngineOptions()
+
+    def run(self):
+        return evaluate(self.program, self.db, self.options)
+
+
+def measure(workload: Workload) -> EvalStats:
+    """Evaluate once and return the work counters."""
+    return workload.run().stats
+
+
+def summarize(label: str, stats: EvalStats) -> str:
+    return f"{label:<28} {stats.summary()}"

@@ -1,0 +1,173 @@
+"""Regenerate the EXPERIMENTS.md measurement tables in one shot.
+
+Unlike ``pytest benchmarks/ --benchmark-only`` (statistically careful,
+slow), this script runs each configuration once with a warm-up and
+prints paper-shaped tables: experiment id, configurations, wall-clock,
+and the work counters the paper's arguments are about.
+
+Usage::
+
+    python benchmarks/run_report.py            # all experiments
+    python benchmarks/run_report.py e3 e6 p5   # a selection
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.core.pipeline import optimize
+from repro.datalog import Database, parse
+from repro.engine import EngineOptions, evaluate
+from repro.engine.topdown import evaluate_topdown
+from repro.rewriting import magic_sets
+from repro.workloads.edb import random_edb
+
+import bench_example2_cut as e2
+import bench_example3_projection as e3
+import bench_example6_uqe as e6
+import bench_example12_transform as e12
+import bench_arity_sweep as p5
+import bench_magic_composition as p4
+import bench_topdown_vs_magic as td
+
+
+def timed(fn):
+    fn()  # warm-up
+    start = time.perf_counter()
+    out = fn()
+    return (time.perf_counter() - start) * 1000.0, out
+
+
+def table(title: str, headers: list[str], rows: list[list]) -> None:
+    print()
+    print(f"== {title} ==")
+    widths = [
+        max(len(str(headers[i])), *(len(str(r[i])) for r in rows))
+        for i in range(len(headers))
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    print(line)
+    print("-" * len(line))
+    for r in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(r, widths)))
+
+
+def fmt(ms: float) -> str:
+    return f"{ms:9.1f} ms"
+
+
+def report_e2() -> None:
+    rows = []
+    for n in e2.SIZES:
+        db = e2.make_db(n)
+        for label, (prog, opts) in e2.configs(n).items():
+            ms, res = timed(lambda p=prog, o=opts: evaluate(p, db, o))
+            rows.append([f"n={n}", label, fmt(ms), res.stats.rows_scanned])
+    table("E2 — boolean cut (Example 2)", ["size", "config", "time", "rows scanned"], rows)
+
+
+def report_e3() -> None:
+    original, projected = e3.programs()
+    rows = []
+    for n in e3.SIZES:
+        db = e3.make_db(n)
+        for label, prog in (("binary (original)", original), ("unary (projected)", projected)):
+            ms, res = timed(lambda p=prog: evaluate(p, db))
+            rows.append([f"V={n}", label, fmt(ms), res.stats.facts_derived, res.stats.duplicates])
+    table(
+        "E3/P2 — projection pushing (Example 3)",
+        ["size", "config", "time", "facts", "dups"],
+        rows,
+    )
+
+
+def report_e6() -> None:
+    original, optimized = e6.programs()
+    rows = []
+    for n in e6.SIZES:
+        db = e6.make_db(n)
+        for label, prog in (("4 rules (original)", original), ("1 rule (optimized)", optimized)):
+            ms, res = timed(lambda p=prog: evaluate(p, db))
+            rows.append([f"V={n}", label, fmt(ms), res.stats.facts_derived])
+    table("E6 — uniform query equivalence (Example 6)", ["size", "config", "time", "facts"], rows)
+
+
+def report_e12() -> None:
+    rows = []
+    for height, tags in e12.SIZES:
+        db = e12.make_db(height, tags)
+        for label, prog in (
+            ("arity-3 (original)", e12.example12_original()),
+            ("arity-2 (transformed)", e12.example12_transformed()),
+        ):
+            ms, res = timed(lambda p=prog: evaluate(p, db))
+            rows.append([f"h={height} tags={tags}", label, fmt(ms), res.stats.facts_derived])
+    table("E12 — section-6 transformation", ["size", "config", "time", "facts"], rows)
+
+
+def report_p4() -> None:
+    rows = []
+    for layers, width in p4.SIZES:
+        db = p4.make_db(layers, width)
+        for label, (prog, opts) in p4.configurations().items():
+            ms, res = timed(lambda p=prog, o=opts: evaluate(p, db, o))
+            rows.append([f"{layers}x{width}", label, fmt(ms), res.stats.facts_derived])
+    table("P4 — magic composition", ["dag", "config", "time", "facts"], rows)
+
+
+def report_p5() -> None:
+    rows = []
+    for k in (0, 1, 2):
+        prog = p5.program_with_payload(k)
+        db = p5.make_db(k)
+        result = optimize(prog)
+        ms_o, _ = timed(lambda: evaluate(prog, db))
+        ms_x, _ = timed(lambda: result.evaluate(db))
+        rows.append([f"k={k}", fmt(ms_o), fmt(ms_x)])
+    table("P5 — arity sweep", ["payload", "original", "optimized"], rows)
+
+
+def report_td() -> None:
+    rows = []
+    for n in td.SIZES:
+        prog = td.program(n - 10)
+        db = td.make_db(n)
+        ms_bu, _ = timed(lambda: evaluate(prog, db))
+        ms_m, _ = timed(lambda: evaluate(magic_sets(prog).program, db))
+        ms_td, _ = timed(lambda: evaluate_topdown(prog, db))
+        rows.append([f"n={n}", fmt(ms_bu), fmt(ms_m), fmt(ms_td)])
+    table(
+        "TD — goal direction (bottom-up / magic / tabled top-down)",
+        ["size", "bottom-up", "magic", "top-down"],
+        rows,
+    )
+
+
+REPORTS = {
+    "e2": report_e2,
+    "e3": report_e3,
+    "e6": report_e6,
+    "e12": report_e12,
+    "p4": report_p4,
+    "p5": report_p5,
+    "td": report_td,
+}
+
+
+def main(argv: list[str]) -> int:
+    chosen = [a.lower() for a in argv] or list(REPORTS)
+    unknown = [c for c in chosen if c not in REPORTS]
+    if unknown:
+        print(f"unknown experiment ids: {unknown}; known: {sorted(REPORTS)}", file=sys.stderr)
+        return 2
+    for c in chosen:
+        REPORTS[c]()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

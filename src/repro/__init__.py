@@ -1,0 +1,91 @@
+"""repro — a reproduction of "Optimizing Existential Datalog Queries"
+(Ramakrishnan, Beeri, Krishnamurthy, PODS 1988).
+
+The library has four layers:
+
+- :mod:`repro.datalog` — the Datalog substrate: terms, rules, programs,
+  a parser, relation storage and static analysis;
+- :mod:`repro.engine` — bottom-up (semi-)naive fixpoint evaluation with
+  boolean-cut support, provenance and work counters;
+- :mod:`repro.core` — the paper's contribution: existential adornment,
+  connected-component boolean rewriting, projection pushing, and rule
+  deletion under uniform (query) equivalence;
+- :mod:`repro.grammar`, :mod:`repro.rewriting`, :mod:`repro.workloads`
+  — the chain-program/CFG correspondence, Magic Sets, and synthetic
+  workload generators used by the benchmark suite.
+
+Quickstart::
+
+    from repro import parse, Database, evaluate, optimize
+
+    program = parse('''
+        query(X) :- a(X, Y).
+        a(X, Y) :- p(X, Z), a(Z, Y).
+        a(X, Y) :- p(X, Y).
+        ?- query(X).
+    ''')
+    optimized = optimize(program).program
+    db = Database.from_dict({"p": [(1, 2), (2, 3)]})
+    assert evaluate(optimized, db).answers() == evaluate(program, db).answers()
+"""
+
+from .datalog import (
+    Atom,
+    Constant,
+    Database,
+    Program,
+    Relation,
+    ReproError,
+    Rule,
+    Term,
+    Variable,
+    atom,
+    parse,
+    parse_atom,
+    parse_rule,
+    rule,
+)
+from .engine import (
+    EngineOptions,
+    EvalResult,
+    EvalStats,
+    evaluate,
+    evaluate_topdown,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Atom",
+    "Constant",
+    "Database",
+    "Program",
+    "Relation",
+    "ReproError",
+    "Rule",
+    "Term",
+    "Variable",
+    "atom",
+    "parse",
+    "parse_atom",
+    "parse_rule",
+    "rule",
+    "EngineOptions",
+    "EvalResult",
+    "EvalStats",
+    "evaluate",
+    "evaluate_topdown",
+    "optimize",
+    "__version__",
+]
+
+
+def optimize(program, **kwargs):
+    """Run the full optimization pipeline of the paper on *program*.
+
+    Convenience re-export of :func:`repro.core.pipeline.optimize`;
+    imported lazily to keep the base import light.
+    """
+    from .core.pipeline import optimize as _optimize
+
+    return _optimize(program, **kwargs)

@@ -1,0 +1,202 @@
+"""Command-line interface: optimize, run, and inspect Datalog programs.
+
+Usage (also via ``python -m repro``)::
+
+    python -m repro optimize program.dl            # print the pipeline story
+    python -m repro run program.dl facts.dl        # evaluate a query
+    python -m repro run program.dl facts.dl -O     # ... after optimization
+    python -m repro grammar program.dl             # chain-program/CFG view
+    python -m repro explain program.dl facts.dl p "1,2"   # derivation tree
+    python -m repro shell [files...]               # interactive session
+
+Program files use the textual syntax of :mod:`repro.datalog.parser`;
+fact files are programs consisting of ground facts (``edge(1, 2).``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .core.pipeline import optimize
+from .datalog import Database, Program, ReproError, parse
+from .datalog.parser import split_facts
+from .engine import EngineOptions, evaluate
+
+__all__ = ["main"]
+
+
+def _load_program(path: str) -> Program:
+    with open(path) as f:
+        program, facts = split_facts(parse(f.read()))
+    if facts:
+        raise ReproError(
+            f"{path}: program files must not contain facts "
+            f"(found {facts[0]}); put them in the facts file"
+        )
+    return program
+
+
+def _load_facts(path: str) -> Database:
+    with open(path) as f:
+        program, facts = split_facts(parse(f.read()))
+    if program.rules:
+        raise ReproError(
+            f"{path}: fact files must contain only ground facts "
+            f"(found rule {program.rules[0]})"
+        )
+    return Database.from_facts(facts)
+
+
+def _cmd_optimize(args) -> int:
+    program = _load_program(args.program)
+    result = optimize(
+        program,
+        deletion=None if args.no_deletion else "lemma53",
+        unit_rules=not args.no_unit_rules,
+        use_chase=not args.no_chase,
+        use_sagiv=not args.no_sagiv,
+    )
+    if args.json:
+        import json
+
+        print(json.dumps(result.report_dict(), indent=2))
+    elif args.quiet:
+        print(result.final)
+    else:
+        print(result.describe())
+    return 0
+
+
+def _cmd_run(args) -> int:
+    program = _load_program(args.program)
+    db = _load_facts(args.facts)
+    if args.optimize:
+        result = optimize(program)
+        evaluation = result.evaluate(db)
+        answers = result.answers(db)
+    else:
+        evaluation = evaluate(program, db, EngineOptions())
+        answers = evaluation.answers()
+    for row in sorted(answers, key=repr):
+        print(", ".join(map(str, row)))
+    if args.stats:
+        print(f"-- {evaluation.stats.summary()}", file=sys.stderr)
+    return 0
+
+
+def _cmd_grammar(args) -> int:
+    from .grammar import (
+        is_right_linear,
+        is_self_embedding,
+        language,
+        monadic_program_for,
+        program_to_grammar,
+        shortest_word,
+    )
+
+    program = _load_program(args.program)
+    grammar = program_to_grammar(program)
+    print(grammar)
+    print(f"self-embedding: {is_self_embedding(grammar)}")
+    print(f"right-linear:   {is_right_linear(grammar)}")
+    word = shortest_word(grammar)
+    print(f"shortest word:  {' '.join(word) if word else '(empty language)'}")
+    if args.words:
+        for w in sorted(language(grammar, args.words), key=lambda w: (len(w), w)):
+            print("  " + " ".join(w))
+    monadic = monadic_program_for(program)
+    if monadic is not None:
+        print("equivalent monadic program (Theorem 3.3):")
+        print(monadic)
+    return 0
+
+
+def _cmd_shell(args) -> int:
+    from .shell import run_shell
+
+    if args.load:
+        # preload by synthesizing .load commands ahead of stdin
+        import itertools
+
+        preload = [f".load {path}" for path in args.load]
+        import sys as _sys
+
+        return run_shell(itertools.chain(preload, _sys.stdin))
+    return run_shell()
+
+
+def _cmd_explain(args) -> int:
+    program = _load_program(args.program)
+    db = _load_facts(args.facts)
+    result = evaluate(program, db, EngineOptions(record_provenance=True))
+    row = tuple(int(v) if v.lstrip("-").isdigit() else v for v in args.row.split(","))
+    if row not in result.facts(args.predicate):
+        print(f"{args.predicate}{row!r} was not derived", file=sys.stderr)
+        return 1
+    print(result.derivation(args.predicate, row).render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Optimizing Existential Datalog Queries (PODS 1988) — reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_opt = sub.add_parser("optimize", help="run the optimization pipeline")
+    p_opt.add_argument("program", help="Datalog program file (with a ?- query)")
+    p_opt.add_argument("-q", "--quiet", action="store_true", help="final program only")
+    p_opt.add_argument("--json", action="store_true", help="machine-readable report")
+    p_opt.add_argument("--no-deletion", action="store_true", help="skip phase 3")
+    p_opt.add_argument("--no-unit-rules", action="store_true")
+    p_opt.add_argument("--no-chase", action="store_true")
+    p_opt.add_argument("--no-sagiv", action="store_true")
+    p_opt.set_defaults(fn=_cmd_optimize)
+
+    p_run = sub.add_parser("run", help="evaluate the program's query")
+    p_run.add_argument("program")
+    p_run.add_argument("facts", help="file of ground facts (the EDB)")
+    p_run.add_argument("-O", "--optimize", action="store_true")
+    p_run.add_argument("--stats", action="store_true", help="work counters to stderr")
+    p_run.set_defaults(fn=_cmd_run)
+
+    p_gram = sub.add_parser("grammar", help="chain-program / CFG view")
+    p_gram.add_argument("program")
+    p_gram.add_argument(
+        "--words", type=int, metavar="LEN", help="list L(G) members up to LEN"
+    )
+    p_gram.set_defaults(fn=_cmd_grammar)
+
+    p_shell = sub.add_parser("shell", help="interactive Datalog shell")
+    p_shell.add_argument(
+        "load", nargs="*", help="program/fact files to load on startup"
+    )
+    p_shell.set_defaults(fn=_cmd_shell)
+
+    p_exp = sub.add_parser("explain", help="print a fact's derivation tree")
+    p_exp.add_argument("program")
+    p_exp.add_argument("facts")
+    p_exp.add_argument("predicate")
+    p_exp.add_argument("row", help='comma-separated values, e.g. "1,2"')
+    p_exp.set_defaults(fn=_cmd_explain)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

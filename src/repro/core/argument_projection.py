@@ -1,0 +1,253 @@
+"""Argument projections and summaries (section 5).
+
+An *argument projection* ``(p^a, p1^a1)`` is an undirected bipartite
+graph whose nodes are the needed (``n``) argument positions of the two
+adorned literals, with an edge ``(i, j)`` whenever the same variable
+occurs at the i-th needed position of ``p^a`` and the j-th needed
+position of ``p1^a1``.  For every rule there is one projection from the
+head to each derived body-literal occurrence.
+
+Projections compose by merging the shared middle literal's nodes; the
+*summary* of a composite keeps an edge between two end nodes iff a path
+connects them in the composite.  Because the positions of each predicate
+are finite, the set of possible summaries is finite even when the
+program is recursive — this is what makes the deletion tests of
+Lemma 5.1/5.3 effective (Algorithm 5.1 saturates the summary set).
+
+Everything here operates on *projected* adorned programs (Lemma 3.2
+applied), so the argument positions of every atom are exactly its
+needed positions; the position indexes below are therefore plain
+``0..arity-1`` indexes of the projected atoms, matching the paper's
+convention of "ignoring the d's" when indexing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Optional
+
+from ..datalog.errors import TransformError
+from ..datalog.terms import Variable
+from .adornment import AdornedProgram, AdornedRule
+
+__all__ = [
+    "ArgumentProjection",
+    "Occurrence",
+    "identity_projection",
+    "head_body_projection",
+    "program_projections",
+    "summary_closure",
+    "QueryRootedSummaries",
+    "query_rooted_summaries",
+]
+
+#: A body-literal occurrence: (rule index, body index).  This is the
+#: paper's "occurrence number" ``p.n`` in positional form.
+Occurrence = tuple[int, int]
+
+
+@dataclass(frozen=True, slots=True)
+class ArgumentProjection:
+    """An argument projection between two adorned predicate names.
+
+    ``edges`` relates argument positions of ``left`` to positions of
+    ``right`` (0-based, over projected atoms).  The occurrence numbers
+    the paper attaches to literals are kept *outside* the projection
+    (see :func:`program_projections`), matching the remark that
+    numbering "does not affect the way argument projections are
+    composed".
+    """
+
+    left: str
+    right: str
+    edges: frozenset[tuple[int, int]]
+
+    def compose(self, other: "ArgumentProjection") -> "ArgumentProjection":
+        """The summary of the composite ``self ∘ other``.
+
+        Requires ``self.right == other.left``.  The composite identifies
+        the middle literal's nodes; the summary has an edge ``(i, k)``
+        iff a path connects left node *i* to right node *k* — note paths
+        may zig-zag (left–mid–left–mid–right), so this is genuine graph
+        connectivity, not relational composition.
+        """
+        if self.right != other.left:
+            raise TransformError(
+                f"cannot compose ({self.left},{self.right}) with "
+                f"({other.left},{other.right})"
+            )
+        # Union-find over nodes tagged L/M/R.
+        parent: dict = {}
+
+        def find(x):
+            parent.setdefault(x, x)
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        def union(x, y):
+            rx, ry = find(x), find(y)
+            if rx != ry:
+                parent[rx] = ry
+
+        for i, j in self.edges:
+            union(("L", i), ("M", j))
+        for j, k in other.edges:
+            union(("M", j), ("R", k))
+        left_nodes = {i for i, _ in self.edges}
+        right_nodes = {k for _, k in other.edges}
+        edges = frozenset(
+            (i, k)
+            for i in left_nodes
+            for k in right_nodes
+            if find(("L", i)) == find(("R", k))
+        )
+        return ArgumentProjection(self.left, other.right, edges)
+
+    def maps_position(self, i: int) -> frozenset[int]:
+        """Right positions connected to left position *i*."""
+        return frozenset(k for l, k in self.edges if l == i)
+
+    def __str__(self) -> str:
+        pairs = ", ".join(f"{i}~{j}" for i, j in sorted(self.edges))
+        return f"({self.left} -> {self.right}: {pairs})"
+
+
+def identity_projection(predicate: str, arity: int) -> ArgumentProjection:
+    """The identity projection of a predicate onto itself.
+
+    Corresponds to the paper's "trivial rule p(X) :- p(X)" used in
+    Example 7 and to the empty composition chain.
+    """
+    return ArgumentProjection(
+        predicate, predicate, frozenset((i, i) for i in range(arity))
+    )
+
+
+def head_body_projection(rule: AdornedRule, body_index: int) -> ArgumentProjection:
+    """The projection from the rule head to one derived body literal."""
+    head, lit = rule.head, rule.body[body_index]
+    edges = set()
+    for i, harg in enumerate(head.atom.args):
+        if not isinstance(harg, Variable):
+            continue
+        for j, barg in enumerate(lit.atom.args):
+            if harg == barg:
+                edges.add((i, j))
+    return ArgumentProjection(head.atom.predicate, lit.atom.predicate, frozenset(edges))
+
+
+def program_projections(
+    program: AdornedProgram,
+) -> dict[Occurrence, ArgumentProjection]:
+    """One projection per derived body-literal occurrence.
+
+    Requires the program to be projected (all positions needed).
+    """
+    if not program.projected:
+        raise TransformError("argument projections require a projected program")
+    out: dict[Occurrence, ArgumentProjection] = {}
+    for ri, rule in enumerate(program.rules):
+        for bi, lit in enumerate(rule.body):
+            if lit.derived:
+                out[(ri, bi)] = head_body_projection(rule, bi)
+    return out
+
+
+def summary_closure(
+    projections: Iterable[ArgumentProjection],
+    max_summaries: int = 100_000,
+) -> frozenset[ArgumentProjection]:
+    """Algorithm 5.1: the set of all summaries of composite argument
+    projections generated from *projections*.
+
+    1. every argument projection is a summary;
+    2. the summary of a composition of summaries is a summary;
+    until no new summaries can be generated.  Termination is guaranteed
+    because summaries over a finite set of predicates/positions form a
+    finite set; *max_summaries* is a defensive cap.
+    """
+    summaries: set[ArgumentProjection] = set(projections)
+    by_left: dict[str, set[ArgumentProjection]] = {}
+    for s in summaries:
+        by_left.setdefault(s.left, set()).add(s)
+    worklist = list(summaries)
+    while worklist:
+        s = worklist.pop()
+        for t in list(by_left.get(s.right, ())):
+            c = s.compose(t)
+            if c not in summaries:
+                summaries.add(c)
+                by_left.setdefault(c.left, set()).add(c)
+                worklist.append(c)
+                if len(summaries) > max_summaries:
+                    raise TransformError("summary closure exceeded cap")
+        # compositions where s is the right factor
+        for t in list(summaries):
+            if t.right == s.left:
+                c = t.compose(s)
+                if c not in summaries:
+                    summaries.add(c)
+                    by_left.setdefault(c.left, set()).add(c)
+                    worklist.append(c)
+                    if len(summaries) > max_summaries:
+                        raise TransformError("summary closure exceeded cap")
+    return frozenset(summaries)
+
+
+@dataclass(frozen=True)
+class QueryRootedSummaries:
+    """All summaries of composite projections that start at the query.
+
+    ``by_predicate[p]`` are the summaries of chains ``(q, ..., p)`` over
+    any occurrences; ``by_occurrence[o]`` are the summaries of chains
+    whose *last* factor is the projection into occurrence *o* — the set
+    Lemma 5.1 quantifies over ("every composite argument projection
+    ``(q^a, ...), ..., (..., p.n^c)``").  For occurrences of the query
+    predicate itself, the empty chain contributes the identity to
+    ``by_predicate`` but not to ``by_occurrence`` (a chain ending *at*
+    an occurrence has at least one factor).
+    """
+
+    query: str
+    by_predicate: Mapping[str, frozenset[ArgumentProjection]]
+    by_occurrence: Mapping[Occurrence, frozenset[ArgumentProjection]]
+
+
+def query_rooted_summaries(
+    program: AdornedProgram,
+    projections: Optional[dict[Occurrence, ArgumentProjection]] = None,
+) -> QueryRootedSummaries:
+    """Compute the query-rooted summary sets by fixpoint.
+
+    Start with the identity on the query predicate; repeatedly extend
+    every known summary ``(q, H)`` by each projection ``(H, P)`` of an
+    occurrence in a rule whose head is ``H``.
+    """
+    if projections is None:
+        projections = program_projections(program)
+    query_pred = program.query.atom.predicate
+    by_pred: dict[str, set[ArgumentProjection]] = {
+        query_pred: {identity_projection(query_pred, program.query.atom.arity)}
+    }
+    by_occ: dict[Occurrence, set[ArgumentProjection]] = {o: set() for o in projections}
+
+    changed = True
+    while changed:
+        changed = False
+        for occ, proj in projections.items():
+            head_pred = proj.left
+            for sigma in list(by_pred.get(head_pred, ())):
+                ext = sigma.compose(proj)
+                if ext not in by_occ[occ]:
+                    by_occ[occ].add(ext)
+                    changed = True
+                if ext not in by_pred.setdefault(proj.right, set()):
+                    by_pred[proj.right].add(ext)
+                    changed = True
+    return QueryRootedSummaries(
+        query=query_pred,
+        by_predicate={p: frozenset(s) for p, s in by_pred.items()},
+        by_occurrence={o: frozenset(s) for o, s in by_occ.items()},
+    )

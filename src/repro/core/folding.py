@@ -1,0 +1,223 @@
+"""Folding: the "guessed rewrite" of Example 11 (and section 6).
+
+The summary-based deletion tests only reason through *unit* rules.  The
+paper's Example 11 shows the workaround for a rule like::
+
+    p@nd(X) :- p@nn(X, Y), g3(Y, Z, U).
+
+— introduce a new predicate for the body and rewrite other rule bodies
+that contain an instance of it::
+
+    p@nd(X)            :- qq@nnnn(X, Y, Z, U).        (now a unit rule)
+    qq@nnnn(X, Y, Z, U) :- p@nn(X, Y), g3(Y, Z, U).
+
+after which Lemma 5.1 applies where it previously could not.  The paper
+calls the choice of what to fold "essentially a guess"; this module
+provides the mechanical part: :func:`define_view` introduces the view
+predicate, and :func:`fold_program` replaces embeddings of the view
+body in other rules.
+
+The fold is the classic Tamaki–Sato-style fold restricted to the safe
+case: an embedding must map the view's *local* variables (body-only
+variables of the definition) injectively to variables that occur
+nowhere else in the target rule, so replacing the matched literals
+cannot lose join constraints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..datalog.ast import Atom
+from ..datalog.errors import TransformError
+from ..datalog.terms import Constant, Term, Variable
+from .adornment import Adornment, AdornedLiteral, AdornedProgram, AdornedRule
+
+__all__ = ["FoldResult", "define_view", "fold_program"]
+
+
+@dataclass(frozen=True)
+class FoldResult:
+    """Program after folding, plus what was done."""
+
+    program: AdornedProgram
+    view_rule: AdornedRule
+    folded_rules: tuple[int, ...]  # indexes (in the input program) of rewritten rules
+
+
+def define_view(
+    program: AdornedProgram,
+    rule_index: int,
+    body_indexes: Sequence[int],
+    view_name: str,
+) -> tuple[AdornedRule, AdornedLiteral]:
+    """Build the view rule for a subset of one rule's body.
+
+    The view head collects, in order of first occurrence, every
+    variable of the selected literals; its adornment is all-``n``
+    (every argument is exported).  Returns the view's defining rule and
+    the literal that replaces the selected body literals in the source
+    rule.
+    """
+    if not program.projected:
+        raise TransformError("folding operates on projected programs")
+    rule = program.rules[rule_index]
+    if not body_indexes:
+        raise TransformError("cannot fold an empty literal set")
+    chosen = [rule.body[i] for i in body_indexes]
+    head_vars: dict[Variable, None] = {}
+    for lit in chosen:
+        for v in lit.atom.variables():
+            head_vars.setdefault(v)
+    args = tuple(head_vars)
+    adornment = Adornment("n" * len(args))
+    head = AdornedLiteral(Atom(view_name, args), adornment, derived=True)
+    view_rule = AdornedRule(head, tuple(chosen))
+    return view_rule, head
+
+
+def _embedding(
+    view: AdornedRule,
+    target: AdornedRule,
+) -> Optional[tuple[tuple[int, ...], dict[Variable, Term]]]:
+    """Find an embedding of the view body into the target rule body.
+
+    Returns the matched body indexes and the substitution from view
+    variables to target terms, or ``None``.  Local view variables (not
+    exported in the view head) must map injectively to variables with
+    exactly one occurrence in the target (outside the matched
+    literals), which for the safe fold means: variables that occur only
+    inside the matched literals, exactly where the view's local
+    variable does.
+    """
+    view_body = view.body
+    target_body = target.body
+    n = len(view_body)
+    if n > len(target_body):
+        return None
+    candidates: list[list[int]] = []
+    for vlit in view_body:
+        matches = [
+            ti
+            for ti, tlit in enumerate(target_body)
+            if tlit.atom.predicate == vlit.atom.predicate
+            and tlit.atom.arity == vlit.atom.arity
+        ]
+        if not matches:
+            return None
+        candidates.append(matches)
+
+    # occurrence counts of variables across the whole target rule
+    counts: dict[Variable, int] = {}
+    for atom_ in (target.head.atom, *(lit.atom for lit in target_body)):
+        for a in atom_.args:
+            if isinstance(a, Variable):
+                counts[a] = counts.get(a, 0) + 1
+
+    exported = set(view.head.atom.variables())
+
+    def try_assignment(assignment: tuple[int, ...]) -> Optional[dict[Variable, Term]]:
+        subst: dict[Variable, Term] = {}
+        for vlit, ti in zip(view_body, assignment):
+            tlit = target_body[ti]
+            for va, ta in zip(vlit.atom.args, tlit.atom.args):
+                if isinstance(va, Constant):
+                    if va != ta:
+                        return None
+                else:
+                    bound = subst.get(va)
+                    if bound is None:
+                        subst[va] = ta
+                    elif bound != ta:
+                        return None
+        # Local (non-exported) view variables: their images must be
+        # variables private to the matched literals, and distinct.
+        local_images = []
+        matched_occurrences: dict[Variable, int] = {}
+        for ti in assignment:
+            for a in target_body[ti].atom.args:
+                if isinstance(a, Variable):
+                    matched_occurrences[a] = matched_occurrences.get(a, 0) + 1
+        for v in set(v for lit in view_body for v in lit.atom.variables()):
+            if v in exported:
+                continue
+            image = subst[v]
+            if not isinstance(image, Variable):
+                return None
+            if counts.get(image, 0) != matched_occurrences.get(image, 0):
+                return None  # image leaks outside the matched literals
+            local_images.append(image)
+        if len(set(local_images)) != len(local_images):
+            return None
+        return subst
+
+    # Enumerate injective assignments (bodies are short in practice).
+    def search(i: int, used: set[int], acc: list[int]):
+        if i == n:
+            yield tuple(acc)
+            return
+        for ti in candidates[i]:
+            if ti in used:
+                continue
+            used.add(ti)
+            acc.append(ti)
+            yield from search(i + 1, used, acc)
+            acc.pop()
+            used.discard(ti)
+
+    for assignment in search(0, set(), []):
+        subst = try_assignment(assignment)
+        if subst is not None:
+            return assignment, subst
+    return None
+
+
+def fold_program(
+    program: AdornedProgram,
+    rule_index: int,
+    body_indexes: Sequence[int],
+    view_name: Optional[str] = None,
+) -> FoldResult:
+    """Introduce a view for part of one rule's body and fold every rule
+    whose body embeds it (including the source rule).
+
+    The result is query-equivalent to the input: unfolding the view in
+    every folded rule gives back a variable-renamed original.
+    """
+    if view_name is None:
+        base = "view"
+        taken = {r.head.atom.predicate for r in program.rules}
+        k = 1
+        while f"{base}{k}" in taken:
+            k += 1
+        view_name = f"{base}{k}"
+    if any(r.head.atom.predicate == view_name for r in program.rules):
+        raise TransformError(f"predicate {view_name!r} already defined")
+
+    view_rule, _view_head = define_view(program, rule_index, body_indexes, view_name)
+
+    new_rules: list[AdornedRule] = []
+    folded: list[int] = []
+    for ri, rule in enumerate(program.rules):
+        found = _embedding(view_rule, rule)
+        if found is None:
+            new_rules.append(rule)
+            continue
+        assignment, subst = found
+        matched = set(assignment)
+        replacement_atom = view_rule.head.atom.substitute(subst)
+        replacement = AdornedLiteral(
+            replacement_atom, view_rule.head.adornment, derived=True
+        )
+        body = [lit for ti, lit in enumerate(rule.body) if ti not in matched]
+        insert_at = min(matched)
+        kept_before = sum(1 for ti in range(insert_at) if ti not in matched)
+        body.insert(kept_before, replacement)
+        new_rules.append(AdornedRule(rule.head, tuple(body)))
+        folded.append(ri)
+
+    new_rules.append(view_rule)
+    return FoldResult(
+        program.with_rules(new_rules), view_rule, tuple(folded)
+    )

@@ -1,0 +1,77 @@
+"""Phase 2 — pushing projections by dropping existential arguments
+(section 3.2, Lemma 3.2).
+
+Every occurrence of an adorned literal ``p^a(t)`` — in rule heads, rule
+bodies and the query — is consistently replaced by ``p^a(t↓)`` where
+``t↓`` drops the argument positions adorned ``d``.  Lemma 3.2: the new
+program computes the same answers for the query.
+
+Only *derived* predicates are rewritten; base (EDB) literals keep their
+stored arity, their ``d`` positions simply remaining as anonymous
+variables.  The adornment string keeps its original length, so the
+correspondence "k-th argument of the projected atom = k-th ``n`` of the
+adornment" (the paper's convention after Lemma 3.2) is recoverable via
+:attr:`~repro.core.adornment.Adornment.needed_positions`.
+
+This is the transformation that turns the binary transitive-closure
+recursion of Example 1 into the unary recursion of Example 3::
+
+    query@n(X) :- a@nd(X).
+    a@nd(X) :- p(X, Z), a@nd(Z).
+    a@nd(X) :- p(X, Z).
+
+Reducing the arity of a recursive predicate is the headline performance
+lever (the paper cites [Bancilhon and Ramakrishnan 87]); Theorem 3.3
+shows the general "can recursion be made monadic" question is
+undecidable, which is why the syntactic d-dropping is the workhorse.
+"""
+
+from __future__ import annotations
+
+from ..datalog.ast import Atom
+from ..datalog.errors import TransformError
+from .adornment import AdornedLiteral, AdornedProgram, AdornedRule
+
+__all__ = ["push_projections", "project_literal"]
+
+
+def project_literal(lit: AdornedLiteral) -> AdornedLiteral:
+    """Drop the ``d`` argument positions of a derived adorned literal.
+
+    Base literals are returned unchanged (their relations are stored at
+    full arity).
+    """
+    if not lit.derived or lit.adornment.is_all_needed:
+        return lit
+    if len(lit.adornment) != lit.atom.arity:
+        raise TransformError(
+            f"literal {lit.atom} already projected (adornment {lit.adornment})"
+        )
+    args = tuple(lit.atom.args[i] for i in lit.adornment.needed_positions)
+    return AdornedLiteral(Atom(lit.atom.predicate, args), lit.adornment, lit.derived)
+
+
+def push_projections(adorned: AdornedProgram) -> AdornedProgram:
+    """Apply Lemma 3.2 to the whole adorned program.
+
+    Idempotent in effect but guarded: re-applying to an already
+    projected program raises :class:`TransformError` to catch pipeline
+    mistakes.
+    """
+    if adorned.projected:
+        raise TransformError("program is already projected")
+    rules = tuple(
+        AdornedRule(
+            project_literal(r.head),
+            tuple(project_literal(lit) for lit in r.body),
+            r.negative,  # adorned all-n; nothing to drop
+        )
+        for r in adorned.rules
+    )
+    query = project_literal(adorned.query)
+    return AdornedProgram(
+        rules,
+        query,
+        projected=True,
+        boolean_predicates=adorned.boolean_predicates,
+    )

@@ -1,0 +1,190 @@
+"""Unfolding: splice single-rule non-recursive predicates into their
+consumers.
+
+Section 6 of the paper invites "more general transformations that
+possibly add literals to (or delete literals from) the rule bodies".
+Unfolding is the classic such transformation: when a derived predicate
+``p`` is defined by exactly one non-recursive rule, every occurrence of
+``p`` in other rule bodies can be replaced by that rule's body (after
+unifying the occurrence with the head), making ``p``'s materialization
+unnecessary.  In the pipeline it runs after rule deletion, where it
+removes the residual cost of adornment forking a predicate into
+several query forms (e.g. a surviving ``p@nn`` whose only rule is a
+copy of a base relation).
+
+Guards (all conservative; violating occurrences leave the program
+unchanged):
+
+- ``p`` has exactly one defining rule, and ``p`` is not reachable from
+  that rule's own body (no direct or mutual recursion);
+- ``p`` is not the query predicate (query-level projection inlining is
+  the pipeline's separate, final step);
+- ``p`` never occurs under ``not`` (¬p is not ¬body);
+- the defining body has at most *max_body* relational literals
+  (unfolding duplicates the body per consumer — small bodies only).
+
+The transformation is answer-preserving: the consuming rule's new body
+is satisfiable by exactly the instantiations that previously satisfied
+it through a ``p`` fact, because ``p``'s single rule is the only way a
+``p`` fact arises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..datalog.terms import FreshVariables, Variable
+from ..datalog.unify import unify
+from .adornment import AdornedLiteral, AdornedProgram, AdornedRule
+
+__all__ = ["UnfoldReport", "unfold_nonrecursive"]
+
+
+@dataclass(frozen=True)
+class UnfoldReport:
+    """The unfolded program plus the predicates that were eliminated."""
+
+    program: AdornedProgram
+    unfolded: tuple[str, ...]
+
+
+def _reaches(program: AdornedProgram, start: str, target: str) -> bool:
+    """Is *target* reachable from predicate *start* through rule bodies?"""
+    seen = {start}
+    stack = [start]
+    while stack:
+        pred = stack.pop()
+        for rule in program.rules_for(pred):
+            for lit in (*rule.body, *rule.negative):
+                p = lit.atom.predicate
+                if p == target:
+                    return True
+                if lit.derived and p not in seen:
+                    seen.add(p)
+                    stack.append(p)
+    return False
+
+
+def _candidate(program: AdornedProgram, max_body: int):
+    """The first predicate eligible for unfolding, or None."""
+    query_pred = program.query.atom.predicate
+    negated = {
+        lit.atom.predicate for r in program.rules for lit in r.negative
+    }
+    used_somewhere = {
+        lit.atom.predicate
+        for r in program.rules
+        for lit in r.body
+        if lit.derived
+    }
+    for pred in sorted(program.derived_predicates()):
+        if pred == query_pred or pred in negated:
+            continue
+        if pred in program.boolean_predicates:
+            # boolean guards exist precisely to be materialized once
+            # and retired by the cut; unfolding would undo section 3.1
+            continue
+        if pred not in used_somewhere:
+            continue  # dead predicate: the cascade's job, not ours
+        defining = program.rules_for(pred)
+        if len(defining) != 1:
+            continue
+        (rule,) = defining
+        if rule.head.atom.arity == 0 or len(rule.body) > max_body:
+            continue
+        if any(
+            lit.derived and _reaches(program, lit.atom.predicate, pred)
+            for lit in rule.body
+        ) or any(lit.atom.predicate == pred for lit in (*rule.body, *rule.negative)):
+            continue
+        return pred, rule
+    return None
+
+
+def _splice(
+    consumer: AdornedRule, body_index: int, definition: AdornedRule
+) -> AdornedRule | None:
+    """Replace occurrence *body_index* of *consumer* by *definition*'s
+    body; returns None when the occurrence cannot match the head (the
+    occurrence could then never fire — left for other passes)."""
+    consumer_vars = set(consumer.to_rule().variables())
+    def_vars = definition.to_rule().variables()
+    fresh = FreshVariables(avoid=set(def_vars) | consumer_vars, prefix="_U")
+    # freshen only the definition variables that collide with the
+    # consumer, so spliced bodies keep their readable names
+    mapping = {v: fresh.take() for v in def_vars if v in consumer_vars}
+    def_head = definition.head.atom.substitute(mapping)
+    def_body = tuple(
+        AdornedLiteral(lit.atom.substitute(mapping), lit.adornment, lit.derived)
+        for lit in definition.body
+    )
+    def_negative = tuple(
+        AdornedLiteral(lit.atom.substitute(mapping), lit.adornment, lit.derived)
+        for lit in definition.negative
+    )
+
+    occurrence = consumer.body[body_index].atom
+    # orient the unifier to prefer the consumer's variable names
+    theta = unify(def_head, occurrence)
+    if theta is None:
+        return None
+
+    def apply(lit: AdornedLiteral) -> AdornedLiteral:
+        return AdornedLiteral(lit.atom.substitute(theta), lit.adornment, lit.derived)
+
+    new_body = (
+        tuple(apply(l) for l in consumer.body[:body_index])
+        + tuple(apply(l) for l in def_body)
+        + tuple(apply(l) for l in consumer.body[body_index + 1 :])
+    )
+    new_negative = tuple(apply(l) for l in consumer.negative) + tuple(
+        apply(l) for l in def_negative
+    )
+    head = AdornedLiteral(
+        consumer.head.atom.substitute(theta),
+        consumer.head.adornment,
+        consumer.head.derived,
+    )
+    return AdornedRule(head, new_body, new_negative)
+
+
+def unfold_nonrecursive(
+    program: AdornedProgram, max_body: int = 2, max_rounds: int = 20
+) -> UnfoldReport:
+    """Unfold eligible predicates to a fixpoint (see module docstring)."""
+    unfolded: list[str] = []
+    for _ in range(max_rounds):
+        found = _candidate(program, max_body)
+        if found is None:
+            break
+        pred, definition = found
+        new_rules: list[AdornedRule] = []
+        ok = True
+        for rule in program.rules:
+            if rule is definition:
+                continue
+            while ok:
+                index = next(
+                    (
+                        i
+                        for i, lit in enumerate(rule.body)
+                        if lit.atom.predicate == pred
+                    ),
+                    None,
+                )
+                if index is None:
+                    break
+                spliced = _splice(rule, index, definition)
+                if spliced is None:
+                    ok = False
+                    break
+                rule = spliced
+            new_rules.append(rule)
+        if not ok:
+            # an occurrence could not match the head; leave this
+            # predicate alone entirely (conservative) and stop trying —
+            # rarer passes (cascade) may still clean up.
+            break
+        program = program.with_rules(new_rules)
+        unfolded.append(pred)
+    return UnfoldReport(program, tuple(unfolded))

@@ -1,0 +1,55 @@
+"""Datalog substrate: terms, AST, parser, storage, and static analysis.
+
+This package implements everything the paper assumes as background
+(section 1.1): function-free Horn rules, programs ``P = (Q, EDB, IDB)``,
+and the structural notions (chain programs, derivation trees live in
+:mod:`repro.engine.provenance`) the optimizations are stated over.
+"""
+
+from .ast import Atom, Program, Rule, atom, rule
+from .database import Database, Relation
+from .errors import (
+    ArityError,
+    EvaluationError,
+    ParseError,
+    ReproError,
+    SafetyError,
+    TransformError,
+    ValidationError,
+)
+from .parser import parse, parse_atom, parse_rule, split_facts
+from .terms import Constant, FreshVariables, Term, Variable, fresh_variable, term
+from .unify import Substitution, compose, match, match_args, skolemize, unify
+
+__all__ = [
+    "Atom",
+    "Program",
+    "Rule",
+    "atom",
+    "rule",
+    "Database",
+    "Relation",
+    "Constant",
+    "Variable",
+    "Term",
+    "term",
+    "fresh_variable",
+    "FreshVariables",
+    "parse",
+    "parse_atom",
+    "parse_rule",
+    "split_facts",
+    "Substitution",
+    "match",
+    "match_args",
+    "unify",
+    "compose",
+    "skolemize",
+    "ReproError",
+    "ParseError",
+    "ValidationError",
+    "ArityError",
+    "SafetyError",
+    "EvaluationError",
+    "TransformError",
+]

@@ -1,0 +1,119 @@
+"""Evaluable comparison predicates — the paper's "evaluable functions"
+extension direction (section 6).
+
+Six reserved binary predicates are evaluated rather than looked up::
+
+    lt(X, Y)   X < Y          gt(X, Y)   X > Y
+    le(X, Y)   X <= Y         ge(X, Y)   X >= Y
+    eq(X, Y)   X == Y         neq(X, Y)  X != Y
+
+They act as *filters*: both arguments must be bound by ordinary
+(relational) positive literals — the safety rule extends accordingly —
+and the engine checks them once a candidate match is complete.  Order
+comparisons between values of different Python types are false rather
+than an error (``lt(1, "a")`` fails), keeping evaluation total;
+``eq``/``neq`` compare by value equality as usual.
+
+Because a built-in constrains which instantiations fire, the
+optimizer's equivalence-based deletion machinery treats programs
+containing built-ins conservatively (the frozen-body chase cannot
+evaluate a comparison over skolem constants); adornment and projection
+remain applicable — a built-in's variables are simply always needed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .ast import Program
+from .errors import ValidationError
+
+__all__ = [
+    "BUILTINS",
+    "is_builtin",
+    "eval_builtin",
+    "negated_builtin",
+    "validate_builtins",
+    "has_builtins",
+]
+
+
+def _ordered(op: Callable[[object, object], bool]) -> Callable[[object, object], bool]:
+    def check(a, b) -> bool:
+        try:
+            return bool(op(a, b))
+        except TypeError:
+            return False
+
+    return check
+
+
+BUILTINS: dict[str, Callable[[object, object], bool]] = {
+    "lt": _ordered(lambda a, b: a < b),
+    "le": _ordered(lambda a, b: a <= b),
+    "gt": _ordered(lambda a, b: a > b),
+    "ge": _ordered(lambda a, b: a >= b),
+    "eq": lambda a, b: a == b,
+    "neq": lambda a, b: a != b,
+}
+
+#: the complement of each built-in (used to reject `not lt(...)` with a
+#: helpful message: write `ge(...)` instead)
+COMPLEMENT = {"lt": "ge", "le": "gt", "gt": "le", "ge": "lt", "eq": "neq", "neq": "eq"}
+
+
+def is_builtin(predicate: str) -> bool:
+    return predicate in BUILTINS
+
+
+def eval_builtin(predicate: str, a, b) -> bool:
+    """Evaluate one built-in on two bound values."""
+    return BUILTINS[predicate](a, b)
+
+
+def negated_builtin(predicate: str) -> str:
+    """The built-in equivalent to the negation of *predicate*."""
+    return COMPLEMENT[predicate]
+
+
+def has_builtins(program: Program) -> bool:
+    return any(
+        is_builtin(a.predicate) for r in program.rules for a in r.body
+    )
+
+
+def validate_builtins(program: Program) -> None:
+    """Static checks beyond ordinary safety:
+
+    - built-ins never appear as rule heads or under ``not`` (use the
+      complement built-in instead);
+    - built-ins are binary;
+    - both arguments are bound by relational positive literals.
+    """
+    for r in program.rules:
+        if is_builtin(r.head.predicate):
+            raise ValidationError(f"built-in {r.head.predicate!r} cannot be defined: {r}")
+        for a in r.negative:
+            if is_builtin(a.predicate):
+                raise ValidationError(
+                    f"negated built-in in {r}; write {negated_builtin(a.predicate)}(...) "
+                    "instead of not " + a.predicate + "(...)"
+                )
+        relational_vars = {
+            v
+            for a in r.body
+            if not is_builtin(a.predicate)
+            for v in a.variables()
+        }
+        for a in r.body:
+            if not is_builtin(a.predicate):
+                continue
+            if a.arity != 2:
+                raise ValidationError(f"built-in {a} must be binary: {r}")
+            unbound = [v for v in a.variables() if v not in relational_vars]
+            if unbound:
+                names = ", ".join(v.name for v in unbound)
+                raise ValidationError(
+                    f"built-in {a} uses variables ({names}) not bound by a "
+                    f"relational literal: {r}"
+                )

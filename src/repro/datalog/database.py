@@ -1,0 +1,237 @@
+"""Extensional database storage: relations, hash indexes, databases.
+
+A :class:`Relation` is a set of equal-length tuples of plain Python
+values (the values of :class:`~repro.datalog.terms.Constant` terms).
+Hash indexes over argument-position subsets are built lazily and cached;
+the evaluation engine asks for the index matching the bound positions of
+each join step.
+
+A :class:`Database` maps predicate names to relations and is the *EDB*
+of the paper's program triple ``P = (Q, EDB, IDB)``.  Databases are
+mutable (the engine inserts derived facts into a working database), but
+:meth:`Database.copy` and value-semantics equality make it cheap to use
+them functionally in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Sequence, Tuple
+
+from .ast import Atom
+from .errors import ArityError, ValidationError
+
+__all__ = ["Relation", "Database"]
+
+Row = Tuple
+
+
+class Relation:
+    """A set of fixed-arity tuples with lazily built hash indexes."""
+
+    __slots__ = ("arity", "_rows", "_indexes")
+
+    def __init__(self, arity: int, rows: Iterable[Sequence] = ()):
+        self.arity = arity
+        self._rows: set[Row] = set()
+        self._indexes: dict[tuple[int, ...], dict[Row, list[Row]]] = {}
+        for row in rows:
+            self.add(tuple(row))
+
+    # -- mutation ----------------------------------------------------------
+
+    def add(self, row: Row) -> bool:
+        """Insert *row*; return True iff it was new.
+
+        Maintains any already-built indexes incrementally.
+        """
+        if len(row) != self.arity:
+            raise ArityError(
+                f"row of length {len(row)} inserted into relation of arity {self.arity}"
+            )
+        if row in self._rows:
+            return False
+        self._rows.add(row)
+        for positions, index in self._indexes.items():
+            key = tuple(row[p] for p in positions)
+            index.setdefault(key, []).append(row)
+        return True
+
+    def update(self, rows: Iterable[Row]) -> int:
+        """Insert many rows; return the number actually added."""
+        return sum(1 for row in rows if self.add(tuple(row)))
+
+    # -- lookup -------------------------------------------------------------
+
+    def __contains__(self, row: Row) -> bool:
+        return tuple(row) in self._rows
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def rows(self) -> frozenset[Row]:
+        return frozenset(self._rows)
+
+    def index_for(self, positions: tuple[int, ...]) -> dict[Row, list[Row]]:
+        """Return (building if necessary) the hash index on *positions*.
+
+        The index maps a key tuple (the row values at *positions*, in
+        that order) to the list of full rows having those values.
+        """
+        index = self._indexes.get(positions)
+        if index is None:
+            index = {}
+            for row in self._rows:
+                key = tuple(row[p] for p in positions)
+                index.setdefault(key, []).append(row)
+            self._indexes[positions] = index
+        return index
+
+    def lookup(self, positions: tuple[int, ...], key: Row) -> list[Row]:
+        """Rows whose values at *positions* equal *key* (empty list if none).
+
+        With empty *positions* this returns all rows.
+        """
+        if not positions:
+            return list(self._rows)
+        return self.index_for(positions).get(tuple(key), [])
+
+    def copy(self) -> "Relation":
+        return Relation(self.arity, self._rows)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return self.arity == other.arity and self._rows == other._rows
+
+    def __hash__(self):  # relations are mutable containers
+        raise TypeError("Relation is unhashable")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        sample = sorted(self._rows, key=repr)[:4]
+        more = "..." if len(self._rows) > 4 else ""
+        return f"Relation(arity={self.arity}, {len(self._rows)} rows: {sample}{more})"
+
+
+class Database:
+    """A mapping from predicate names to :class:`Relation` objects."""
+
+    __slots__ = ("_relations",)
+
+    def __init__(self, relations: Optional[Mapping[str, Relation]] = None):
+        self._relations: Dict[str, Relation] = {}
+        if relations:
+            for name, rel in relations.items():
+                self._relations[name] = rel.copy()
+
+    # -- construction helpers --------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Iterable[Sequence]]) -> "Database":
+        """Build a database from ``{"pred": [(a, b), ...], ...}``.
+
+        Arity is inferred from the first tuple of each relation; an
+        empty iterable is rejected because its arity is unknown (use
+        :meth:`ensure` for empty relations).
+        """
+        db = cls()
+        for name, rows in data.items():
+            rows = [tuple(r) for r in rows]
+            if not rows:
+                raise ValidationError(
+                    f"cannot infer arity of empty relation {name!r}; use ensure()"
+                )
+            rel = Relation(len(rows[0]))
+            rel.update(rows)
+            db._relations[name] = rel
+        return db
+
+    @classmethod
+    def from_facts(cls, facts: Iterable[Atom]) -> "Database":
+        """Build a database from ground atoms."""
+        db = cls()
+        for fact in facts:
+            db.add_fact(fact)
+        return db
+
+    def ensure(self, predicate: str, arity: int) -> Relation:
+        """Return the relation for *predicate*, creating it empty if absent."""
+        rel = self._relations.get(predicate)
+        if rel is None:
+            rel = Relation(arity)
+            self._relations[predicate] = rel
+        elif rel.arity != arity:
+            raise ArityError(
+                f"relation {predicate} has arity {rel.arity}, requested {arity}"
+            )
+        return rel
+
+    def add_fact(self, fact: Atom) -> bool:
+        """Insert a ground atom; returns True iff new."""
+        rel = self.ensure(fact.predicate, fact.arity)
+        return rel.add(fact.as_fact())
+
+    def add(self, predicate: str, *values) -> bool:
+        """Insert a row given as positional values."""
+        rel = self.ensure(predicate, len(values))
+        return rel.add(tuple(values))
+
+    # -- access --------------------------------------------------------------
+
+    def relation(self, predicate: str) -> Optional[Relation]:
+        return self._relations.get(predicate)
+
+    def rows(self, predicate: str) -> frozenset[Row]:
+        """All rows of *predicate* (empty frozenset if absent)."""
+        rel = self._relations.get(predicate)
+        return rel.rows() if rel is not None else frozenset()
+
+    def predicates(self) -> frozenset[str]:
+        return frozenset(self._relations)
+
+    def __contains__(self, predicate: str) -> bool:
+        return predicate in self._relations
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._relations)
+
+    def facts(self) -> Iterator[tuple[str, Row]]:
+        """Iterate over all ``(predicate, row)`` pairs."""
+        for name, rel in self._relations.items():
+            for row in rel:
+                yield name, row
+
+    def fact_count(self) -> int:
+        return sum(len(rel) for rel in self._relations.values())
+
+    def active_domain(self) -> frozenset:
+        """All constant values occurring anywhere in the database."""
+        return frozenset(v for _, row in self.facts() for v in row)
+
+    def copy(self) -> "Database":
+        return Database(self._relations)
+
+    def merged_with(self, other: "Database") -> "Database":
+        """A new database containing the facts of both operands."""
+        out = self.copy()
+        for name, row in other.facts():
+            out.ensure(name, len(row)).add(row)
+        return out
+
+    def restrict(self, predicates: Iterable[str]) -> "Database":
+        """A new database containing only the named relations."""
+        keep = set(predicates)
+        return Database({n: r for n, r in self._relations.items() if n in keep})
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Database):
+            return NotImplemented
+        mine = {n: r for n, r in self._relations.items() if len(r)}
+        theirs = {n: r for n, r in other._relations.items() if len(r)}
+        return mine == theirs
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(f"{n}:{len(r)}" for n, r in sorted(self._relations.items()))
+        return f"Database({parts})"

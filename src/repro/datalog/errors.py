@@ -1,0 +1,58 @@
+"""Exception hierarchy for the Datalog substrate.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+callers can catch one type to handle anything the library signals.  The
+subclasses mirror the stages of the processing pipeline: parsing, static
+(schema / safety) validation, and evaluation.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ParseError(ReproError):
+    """Raised when Datalog source text cannot be parsed.
+
+    Carries the source position so tooling can point at the offending
+    token.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class ValidationError(ReproError):
+    """Raised when a structurally well-formed program violates a static
+    constraint: inconsistent predicate arity, an unsafe rule (a head
+    variable that does not occur in the body), or a query over a
+    predicate the program never defines.
+    """
+
+
+class ArityError(ValidationError):
+    """Raised when a predicate is used with two different arities."""
+
+
+class SafetyError(ValidationError):
+    """Raised for range-restriction violations (unsafe rules)."""
+
+
+class EvaluationError(ReproError):
+    """Raised when fixpoint evaluation cannot proceed, e.g. a rule body
+    references a predicate with no facts and no defining rules when the
+    engine is configured to treat that as an error.
+    """
+
+
+class TransformError(ReproError):
+    """Raised when an optimizer phase is applied to a program that does
+    not satisfy the phase's preconditions (e.g. projection pushing on a
+    program that has not been adorned).
+    """

@@ -1,0 +1,100 @@
+"""Paper-style pretty printing and program diffing.
+
+The library's canonical textual form spells adornments with ``@``
+(``a@nd``) so programs stay machine-parseable.  This module renders
+programs the way the paper typesets them — ``a^nd`` — and produces
+aligned listings and before/after diffs for reports and teaching
+material (the CLI's ``optimize`` output and the examples use it
+indirectly through ``str``; the paper style is opt-in).
+"""
+
+from __future__ import annotations
+
+from .ast import Atom, Rule
+
+__all__ = ["paper_atom", "paper_rule", "render", "diff_programs"]
+
+
+def _paper_name(predicate: str) -> str:
+    # Inline version of core.adornment.split_adorned (string-only), so
+    # the substrate layer does not depend on the optimizer layer.
+    base, sep, suffix = predicate.rpartition("@")
+    if not sep or not suffix or not set(suffix) <= {"n", "d"}:
+        return predicate
+    return f"{base}^{suffix}"
+
+
+def paper_atom(atom: Atom) -> str:
+    """Render one atom with ``^`` adornment spelling."""
+    if not atom.args:
+        return _paper_name(atom.predicate)
+    args = ", ".join(map(str, atom.args))
+    return f"{_paper_name(atom.predicate)}({args})"
+
+
+def paper_rule(rule: Rule) -> str:
+    """Render one rule in the paper's style."""
+    parts = [paper_atom(a) for a in rule.body]
+    parts += [f"not {paper_atom(a)}" for a in rule.negative]
+    if not parts:
+        return f"{paper_atom(rule.head)}."
+    return f"{paper_atom(rule.head)} :- {', '.join(parts)}."
+
+
+def render(
+    program,
+    style: str = "paper",
+    align: bool = True,
+) -> str:
+    """Render a program (plain or adorned).
+
+    ``style="paper"`` spells adornments as superscript-style ``a^nd``;
+    ``style="plain"`` keeps the parseable ``a@nd``.  With *align*, the
+    ``:-`` separators line up.
+    """
+    plain = program.to_program() if hasattr(program, "to_program") else program
+    if style == "plain":
+        fmt_head = lambda r: str(r.head)  # noqa: E731
+        fmt_rule = str
+    elif style == "paper":
+        fmt_head = lambda r: paper_atom(r.head)  # noqa: E731
+        fmt_rule = paper_rule
+    else:
+        raise ValueError(f"unknown style {style!r}")
+
+    lines = []
+    width = max((len(fmt_head(r)) for r in plain.rules), default=0)
+    for r in plain.rules:
+        text = fmt_rule(r)
+        if align and (r.body or r.negative):
+            head_text = fmt_head(r)
+            rest = text[len(head_text):]
+            text = head_text.ljust(width) + rest
+        lines.append(text)
+    if plain.query is not None:
+        q = paper_atom(plain.query) if style == "paper" else str(plain.query)
+        lines.append(f"?- {q}.")
+    return "\n".join(lines)
+
+
+def diff_programs(before, after, style: str = "paper") -> str:
+    """A unified before/after listing: rules only in *before* are
+    prefixed ``-``, rules only in *after* ``+``, common rules `` ``.
+
+    Comparison is textual per rendered rule (variable names matter;
+    transformations in this library preserve them, so the diff reads
+    naturally)."""
+    def rule_lines(p):
+        plain = p.to_program() if hasattr(p, "to_program") else p
+        fmt = paper_rule if style == "paper" else str
+        return [fmt(r) for r in plain.rules]
+
+    b_lines, a_lines = rule_lines(before), rule_lines(after)
+    b_set, a_set = set(b_lines), set(a_lines)
+    out = []
+    for line in b_lines:
+        out.append(("  " if line in a_set else "- ") + line)
+    for line in a_lines:
+        if line not in b_set:
+            out.append("+ " + line)
+    return "\n".join(out)

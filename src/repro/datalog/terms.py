@@ -1,0 +1,138 @@
+"""Terms of the Datalog language: variables and constants.
+
+The paper considers *function-free* Horn rules (Datalog), so a term is
+either a variable or a constant.  Both are immutable value objects and
+can be used as dictionary keys, set members, and members of frozen
+``Atom``/``Rule`` structures.
+
+The conventions follow the paper (section 1.1): upper-case names denote
+variables, lower-case names and numerals denote constants.  The smart
+constructor :func:`term` applies that convention, which keeps test and
+example programs readable.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Union
+
+__all__ = [
+    "Variable",
+    "Constant",
+    "Term",
+    "term",
+    "is_variable",
+    "is_constant",
+    "fresh_variable",
+    "FreshVariables",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Variable:
+    """A logical variable, identified by its name.
+
+    Two ``Variable`` objects with the same name are the same variable
+    (within one rule; rules are always renamed apart before they
+    interact).
+    """
+
+    name: str
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Variable({self.name!r})"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class Constant:
+    """A constant value.
+
+    Values are ordinary hashable Python objects; the library uses
+    strings and integers.  Two constants are equal iff their values are
+    equal (``Constant(1) != Constant("1")``).
+    """
+
+    value: Union[str, int]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Constant({self.value!r})"
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+Term = Union[Variable, Constant]
+
+
+def is_variable(t: Term) -> bool:
+    """Return ``True`` iff *t* is a :class:`Variable`."""
+    return isinstance(t, Variable)
+
+
+def is_constant(t: Term) -> bool:
+    """Return ``True`` iff *t* is a :class:`Constant`."""
+    return isinstance(t, Constant)
+
+
+def term(value) -> Term:
+    """Smart constructor for terms, applying the paper's conventions.
+
+    - an existing :class:`Variable` or :class:`Constant` is returned
+      unchanged;
+    - a string starting with an upper-case letter or ``_`` becomes a
+      :class:`Variable` (``_`` alone denotes an anonymous variable and
+      should be freshened by the caller; the parser does this);
+    - any other string, and any integer, becomes a :class:`Constant`.
+
+    >>> term("X")
+    Variable('X')
+    >>> term("abc")
+    Constant('abc')
+    >>> term(3)
+    Constant(3)
+    """
+    if isinstance(value, (Variable, Constant)):
+        return value
+    if isinstance(value, str) and value and (value[0].isupper() or value[0] == "_"):
+        return Variable(value)
+    return Constant(value)
+
+
+_fresh_counter = itertools.count(1)
+
+
+def fresh_variable(prefix: str = "_V") -> Variable:
+    """Return a globally fresh variable.
+
+    Uses a process-wide counter; names look like ``_V17``.  Use
+    :class:`FreshVariables` when deterministic, locally-scoped names are
+    needed (e.g. in program transformations that must be reproducible).
+    """
+    return Variable(f"{prefix}{next(_fresh_counter)}")
+
+
+class FreshVariables:
+    """A deterministic fresh-variable supply.
+
+    Produces ``prefix1``, ``prefix2``, ... skipping any name in the
+    *avoid* set.  Transformations construct one of these per rule so the
+    output program does not depend on global state.
+    """
+
+    def __init__(self, avoid=(), prefix: str = "_E"):
+        self._avoid = {v.name if isinstance(v, Variable) else str(v) for v in avoid}
+        self._prefix = prefix
+        self._next = 1
+
+    def take(self) -> Variable:
+        """Return the next fresh variable not colliding with *avoid*."""
+        while True:
+            name = f"{self._prefix}{self._next}"
+            self._next += 1
+            if name not in self._avoid:
+                self._avoid.add(name)
+                return Variable(name)

@@ -1,0 +1,38 @@
+"""Bottom-up evaluation engine: plans, fixpoints, provenance, statistics.
+
+Public entry point: :func:`evaluate`.
+
+>>> from repro.datalog import parse, Database
+>>> from repro.engine import evaluate
+>>> program = parse('''
+...     tc(X, Y) :- edge(X, Y).
+...     tc(X, Y) :- edge(X, Z), tc(Z, Y).
+...     ?- tc(1, Y).
+... ''')
+>>> db = Database.from_dict({"edge": [(1, 2), (2, 3)]})
+>>> sorted(evaluate(program, db).answers())
+[(2,), (3,)]
+"""
+
+from .evaluator import EngineOptions, EvalResult, answers_of, evaluate
+from .plan import CompiledRule, LiteralPlan, compile_rule, order_body
+from .provenance import DerivationTree, Justification, derivation_tree
+from .statistics import EvalStats
+from .topdown import TopDownResult, evaluate_topdown
+
+__all__ = [
+    "EngineOptions",
+    "EvalResult",
+    "evaluate",
+    "answers_of",
+    "CompiledRule",
+    "LiteralPlan",
+    "compile_rule",
+    "order_body",
+    "DerivationTree",
+    "Justification",
+    "derivation_tree",
+    "EvalStats",
+    "TopDownResult",
+    "evaluate_topdown",
+]

@@ -1,0 +1,326 @@
+"""Bottom-up fixpoint evaluation: naive and semi-naive strategies.
+
+This is the computation model the paper assumes (section 1.1): start
+from the database relations with empty derived predicates and apply the
+rules in stages until the least fixpoint is reached; the answer is the
+appropriate selection over the query predicate's relation.
+
+Two features beyond the textbook algorithm support the paper's
+optimizations:
+
+- **Boolean cut** (section 3.1): predicates named in
+  ``EngineOptions.cut_predicates`` (the ``B_i`` introduced by the
+  connected-component rewriting) have arity 0, so their relation is
+  complete as soon as it is non-empty; their defining rules are then
+  *retired* from the fixpoint loop.  This "captures some aspects of
+  Prolog's cut appropriate to the bottom-up model".
+- **Initial IDB facts**: the input database may already contain facts
+  for derived predicates.  This is required by the *uniform* notions of
+  equivalence (section 4), whose inputs are arbitrary DB instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..datalog.analysis import stratify
+from ..datalog.ast import Atom, Program
+from ..datalog.builtins import eval_builtin
+from ..datalog.database import Database
+from ..datalog.errors import EvaluationError, ValidationError
+from ..datalog.terms import Constant, Variable
+from .plan import CompiledRule, compile_rule, match_plan
+from .provenance import DerivationTree, Justification, derivation_tree
+from .statistics import EvalStats
+
+__all__ = ["EngineOptions", "EvalResult", "evaluate", "answers_of"]
+
+
+@dataclass(frozen=True)
+class EngineOptions:
+    """Evaluation configuration.
+
+    strategy
+        ``"seminaive"`` (default) or ``"naive"``.
+    cut_predicates
+        Arity-0 predicates whose rules are retired once the predicate
+        becomes true (the boolean subqueries of section 3.1).
+    record_provenance
+        Record a first justification per derived fact, enabling
+        :meth:`EvalResult.derivation`.
+    max_iterations
+        Abort with :class:`EvaluationError` if the fixpoint does not
+        converge within this many iterations (None = unbounded).  All
+        safe Datalog programs converge; the bound exists to fail fast on
+        engine bugs.
+    """
+
+    strategy: str = "seminaive"
+    cut_predicates: frozenset[str] = frozenset()
+    record_provenance: bool = False
+    max_iterations: Optional[int] = None
+
+    def __post_init__(self):
+        if self.strategy not in ("seminaive", "naive"):
+            raise ValidationError(f"unknown strategy {self.strategy!r}")
+        object.__setattr__(self, "cut_predicates", frozenset(self.cut_predicates))
+
+
+@dataclass
+class EvalResult:
+    """The fixpoint database plus run metadata."""
+
+    program: Program
+    db: Database
+    stats: EvalStats
+    provenance: dict = field(default_factory=dict)
+
+    def facts(self, predicate: str) -> frozenset[tuple]:
+        """All rows of *predicate* at fixpoint."""
+        return self.db.rows(predicate)
+
+    def answers(self, query: Optional[Atom] = None) -> frozenset[tuple]:
+        """Bindings for the query's variables (paper, section 1.1).
+
+        Constants in the query act as selections; the result tuples
+        list the values of the query's distinct variables in order of
+        first occurrence.  Defaults to the program's query atom.
+        """
+        q = query if query is not None else self.program.query
+        if q is None:
+            raise ValidationError("program has no query and none was supplied")
+        return answers_of(self.db, q)
+
+    def has_answer(self) -> bool:
+        return bool(self.answers())
+
+    def derivation(self, predicate: str, row: tuple) -> DerivationTree:
+        """The recorded derivation tree of ``predicate(row)``.
+
+        Requires ``record_provenance=True`` at evaluation time.
+        """
+        if (predicate, row) not in self.provenance and row not in self.db.rows(predicate):
+            raise EvaluationError(f"fact {predicate}{row!r} was not derived")
+        return derivation_tree(self.provenance, predicate, row)
+
+
+def answers_of(db: Database, query: Atom) -> frozenset[tuple]:
+    """Apply the selection/projection a query atom denotes to *db*."""
+    var_positions: list[int] = []
+    seen_vars: dict[Variable, int] = {}
+    for p, arg in enumerate(query.args):
+        if isinstance(arg, Variable) and arg not in seen_vars:
+            seen_vars[arg] = p
+            var_positions.append(p)
+    out = set()
+    for row in db.rows(query.predicate):
+        ok = True
+        for p, arg in enumerate(query.args):
+            if isinstance(arg, Constant):
+                if row[p] != arg.value:
+                    ok = False
+                    break
+            else:
+                if row[seen_vars[arg]] != row[p]:
+                    ok = False
+                    break
+        if ok:
+            out.add(tuple(row[p] for p in var_positions))
+    return frozenset(out)
+
+
+def evaluate(
+    program: Program,
+    edb: Database,
+    options: Optional[EngineOptions] = None,
+) -> EvalResult:
+    """Compute the least fixpoint of *program* over *edb*.
+
+    The input database is not modified; derived facts accumulate in a
+    copy.  Facts already present for derived predicates are kept (the
+    uniform-equivalence input convention).
+    """
+    opts = options or EngineOptions()
+    program.validate()
+    db = edb.copy()
+    stats = EvalStats()
+    provenance: dict = {}
+
+    # Make sure every derived predicate has a relation, so that empty
+    # results are observable and plans never miss a relation.
+    arities = program.arities()
+    for pred in program.idb_predicates():
+        db.ensure(pred, arities[pred])
+
+    # Seed fact rules (ground, body-less); the paper keeps facts in the
+    # EDB but the parser tolerates them in programs.
+    compiled: list[CompiledRule] = []
+    for i, r in enumerate(program.rules):
+        if not r.body:
+            if not r.head.is_ground():
+                raise ValidationError(f"unsafe fact rule: {r}")
+            if db.ensure(r.head.predicate, r.head.arity).add(r.head.as_fact()):
+                stats.facts_derived += 1
+            continue
+        compiled.append(compile_rule(r, i))
+
+    retire = _Retirer(opts.cut_predicates, stats)
+
+    # Stratified evaluation (section-6 extension): rules run stratum by
+    # stratum, so a negated literal always refers to a fully computed
+    # lower-stratum relation.  Pure Datalog yields a single stratum.
+    if program.has_negation():
+        layers = stratify(program)
+        index = {p: i for i, layer in enumerate(layers) for p in layer}
+        grouped: dict[int, list[CompiledRule]] = {}
+        for cr in compiled:
+            grouped.setdefault(index[cr.rule.head.predicate], []).append(cr)
+        strata = [grouped.get(i, []) for i in range(len(layers))]
+    else:
+        strata = [compiled] if compiled else []
+
+    for stratum_rules in strata:
+        active = retire.filter(stratum_rules, db)
+        if not active:
+            continue
+        if opts.strategy == "naive":
+            _naive_loop(active, db, stats, provenance, opts, retire)
+        else:
+            _seminaive_loop(active, db, stats, provenance, opts, retire)
+
+    for pred in program.idb_predicates():
+        stats.fact_counts[pred] = len(db.rows(pred))
+    return EvalResult(program, db, stats, provenance)
+
+
+class _Retirer:
+    """Removes satisfied boolean (cut) rules from the active set."""
+
+    def __init__(self, cut_predicates: frozenset[str], stats: EvalStats):
+        self._cut = cut_predicates
+        self._stats = stats
+
+    def filter(self, rules: list[CompiledRule], db: Database) -> list[CompiledRule]:
+        if not self._cut:
+            return rules
+        keep = []
+        for cr in rules:
+            head = cr.rule.head.predicate
+            if head in self._cut and db.rows(head):
+                self._stats.rules_retired += 1
+            else:
+                keep.append(cr)
+        return keep
+
+
+def _fire(
+    cr: CompiledRule,
+    plans,
+    db: Database,
+    stats: EvalStats,
+    provenance: dict,
+    opts: EngineOptions,
+    added: dict[str, set],
+    delta_rows: Optional[frozenset] = None,
+) -> None:
+    """Run one plan of one rule, inserting new head facts."""
+    head_pred = cr.rule.head.predicate
+    rel = db.relation(head_pred)
+    assert rel is not None
+    for subst, body_rows in match_plan(plans, db, stats, delta_rows=delta_rows):
+        if cr.builtins and not _builtins_hold(cr, subst):
+            continue
+        if cr.rule.negative and not _negatives_hold(cr, db, subst, stats):
+            continue
+        stats.rule_firings += 1
+        values = cr.head_values(subst)
+        if rel.add(values):
+            stats.facts_derived += 1
+            added.setdefault(head_pred, set()).add(values)
+            if opts.record_provenance:
+                body = tuple(
+                    (atom.predicate, row)
+                    for atom, row in zip(cr.relational_body, body_rows)
+                )
+                provenance[(head_pred, values)] = Justification(cr.rule_index, body)
+        else:
+            stats.duplicates += 1
+
+
+def _builtins_hold(cr: CompiledRule, subst: dict) -> bool:
+    """Evaluate the rule's comparison built-ins under a complete match."""
+    for atom in cr.builtins:
+        a, b = (
+            t.value if isinstance(t, Constant) else subst[t] for t in atom.args
+        )
+        if not eval_builtin(atom.predicate, a, b):
+            return False
+    return True
+
+
+def _negatives_hold(cr: CompiledRule, db: Database, subst: dict, stats: EvalStats) -> bool:
+    """Check the negated literals of a rule under a complete positive
+    match.  Safety guarantees every variable is bound; stratification
+    guarantees the referenced relation is complete."""
+    for atom in cr.rule.negative:
+        rel = db.relation(atom.predicate)
+        stats.join_probes += 1
+        if rel is None:
+            continue  # empty relation: the negation holds
+        key = tuple(
+            a.value if isinstance(a, Constant) else subst[a] for a in atom.args
+        )
+        if key in rel:
+            return False
+    return True
+
+
+def _check_budget(stats: EvalStats, opts: EngineOptions) -> None:
+    stats.iterations += 1
+    if opts.max_iterations is not None and stats.iterations > opts.max_iterations:
+        raise EvaluationError(
+            f"fixpoint did not converge within {opts.max_iterations} iterations"
+        )
+
+
+def _naive_loop(active, db, stats, provenance, opts, retire) -> None:
+    while True:
+        _check_budget(stats, opts)
+        added: dict[str, set] = {}
+        for cr in active:
+            _fire(cr, cr.plan, db, stats, provenance, opts, added)
+        active = retire.filter(active, db)
+        if not any(added.values()):
+            return
+
+
+def _seminaive_loop(active, db, stats, provenance, opts, retire) -> None:
+    # First round is naive: it also accounts for initial IDB facts,
+    # which uniform-equivalence inputs may contain.
+    _check_budget(stats, opts)
+    delta: dict[str, set] = {}
+    for cr in active:
+        _fire(cr, cr.plan, db, stats, provenance, opts, delta)
+    active = retire.filter(active, db)
+
+    while any(delta.values()):
+        _check_budget(stats, opts)
+        previous = {p: frozenset(rows) for p, rows in delta.items() if rows}
+        delta = {}
+        for cr in active:
+            for i, literal in enumerate(cr.relational_body):
+                rows = previous.get(literal.predicate)
+                if not rows:
+                    continue
+                _fire(
+                    cr,
+                    cr.delta_plans[i],
+                    db,
+                    stats,
+                    provenance,
+                    opts,
+                    delta,
+                    delta_rows=rows,
+                )
+        active = retire.filter(active, db)

@@ -1,0 +1,222 @@
+"""Rule compilation: body ordering and index-aware literal matching.
+
+A rule body is evaluated as a left-deep nested-loop join over hash
+indexes.  :func:`order_body` picks a join order greedily — at each step
+the literal with the most already-bound argument positions is chosen, so
+index lookups replace scans wherever possible.  :class:`CompiledRule`
+caches, per literal, which positions will be bound when the literal is
+reached, so evaluation does no per-tuple planning.
+
+Substitutions at evaluation time are plain ``dict[Variable, value]``
+with raw Python values (not :class:`Constant` wrappers); this is the
+engine's hot path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence
+
+from ..datalog.ast import Atom, Rule
+from ..datalog.builtins import is_builtin
+from ..datalog.database import Database
+from ..datalog.terms import Constant, Variable
+from .statistics import EvalStats
+
+__all__ = ["CompiledRule", "LiteralPlan", "order_body", "compile_rule"]
+
+
+@dataclass(frozen=True)
+class LiteralPlan:
+    """One body literal with its precomputed binding pattern.
+
+    ``bound_positions`` are argument indexes whose value is known when
+    this literal is matched (constants, or variables bound by earlier
+    literals); an index on exactly those positions is used for lookup.
+    ``free_positions`` maps the remaining indexes to their variables
+    (with repeated free variables appearing at each of their positions;
+    consistency is enforced during binding).
+    """
+
+    atom: Atom
+    body_index: int  # position in the original rule body
+    bound_positions: tuple[int, ...]
+    free_positions: tuple[tuple[int, Variable], ...]
+
+    def key_for(self, subst: dict) -> Optional[tuple]:
+        """The index key under *subst*; None is never returned — every
+        bound position is a constant or a variable guaranteed bound."""
+        key = []
+        for p in self.bound_positions:
+            arg = self.atom.args[p]
+            if isinstance(arg, Constant):
+                key.append(arg.value)
+            else:
+                key.append(subst[arg])
+        return tuple(key)
+
+    def bind(self, row: Sequence, subst: dict) -> Optional[dict]:
+        """Extend *subst* with the free positions of *row*.
+
+        Returns the extended substitution (a new dict) or ``None`` if a
+        repeated free variable is inconsistent.
+        """
+        out = dict(subst)
+        for p, var in self.free_positions:
+            value = row[p]
+            bound = out.get(var, _UNBOUND)
+            if bound is _UNBOUND:
+                out[var] = value
+            elif bound != value:
+                return None
+        return out
+
+
+_UNBOUND = object()
+
+
+def _plan_literal(atom: Atom, body_index: int, bound_vars: set[Variable]) -> LiteralPlan:
+    bound_positions = []
+    free_positions = []
+    for p, arg in enumerate(atom.args):
+        if isinstance(arg, Constant) or arg in bound_vars:
+            bound_positions.append(p)
+        else:
+            free_positions.append((p, arg))
+    return LiteralPlan(atom, body_index, tuple(bound_positions), tuple(free_positions))
+
+
+def order_body(body: Sequence[Atom], first: Optional[int] = None) -> tuple[LiteralPlan, ...]:
+    """Choose a join order and compute binding patterns.
+
+    *first*, when given, forces that body index to the front — used by
+    the semi-naive evaluator to start from the delta literal.  The rest
+    is ordered greedily by bound-argument count (ties broken by original
+    body order, keeping plans deterministic).
+    """
+    remaining = list(range(len(body)))
+    plans: list[LiteralPlan] = []
+    bound_vars: set[Variable] = set()
+
+    def take(i: int) -> None:
+        remaining.remove(i)
+        plan = _plan_literal(body[i], i, bound_vars)
+        plans.append(plan)
+        bound_vars.update(v for _, v in plan.free_positions)
+
+    if first is not None:
+        take(first)
+    while remaining:
+        best = max(
+            remaining,
+            key=lambda i: (
+                sum(
+                    1
+                    for arg in body[i].args
+                    if isinstance(arg, Constant) or arg in bound_vars
+                ),
+                -i,
+            ),
+        )
+        take(best)
+    return tuple(plans)
+
+
+@dataclass(frozen=True)
+class CompiledRule:
+    """A rule together with its join plans.
+
+    ``plan`` is the default (naive) plan; ``delta_plans[i]`` is the plan
+    that starts from *relational* body literal *i*, used when that
+    literal is matched against a delta relation during semi-naive
+    evaluation.  Built-in comparison literals are split out into
+    ``builtins`` and evaluated as filters once a match is complete
+    (safety guarantees their variables are bound by then).
+    """
+
+    rule: Rule
+    rule_index: int
+    #: the body literals that denote stored relations, in body order
+    relational_body: tuple[Atom, ...]
+    #: evaluable comparison literals (lt/le/gt/ge/eq/neq)
+    builtins: tuple[Atom, ...]
+    plan: tuple[LiteralPlan, ...]
+    delta_plans: tuple[tuple[LiteralPlan, ...], ...]
+
+    def head_values(self, subst: dict) -> tuple:
+        """Instantiate the head under a complete substitution."""
+        return tuple(
+            a.value if isinstance(a, Constant) else subst[a] for a in self.rule.head.args
+        )
+
+
+def compile_rule(rule: Rule, rule_index: int) -> CompiledRule:
+    """Compile *rule*: one naive plan plus one delta plan per
+    relational literal; built-ins become post-match filters."""
+    relational = tuple(a for a in rule.body if not is_builtin(a.predicate))
+    builtins = tuple(a for a in rule.body if is_builtin(a.predicate))
+    plan = order_body(relational)
+    delta_plans = tuple(
+        order_body(relational, first=i) for i in range(len(relational))
+    )
+    return CompiledRule(rule, rule_index, relational, builtins, plan, delta_plans)
+
+
+def match_plan(
+    plans: Sequence[LiteralPlan],
+    db: Database,
+    stats: EvalStats,
+    delta_rows: Optional[frozenset] = None,
+    subst: Optional[dict] = None,
+) -> Iterator[tuple[dict, tuple]]:
+    """Enumerate substitutions satisfying the planned body.
+
+    Yields ``(substitution, body_rows)`` where ``body_rows[i]`` is the
+    matched row of the literal at *original* body index *i* (used for
+    provenance).  When *delta_rows* is given, the first plan step is
+    matched against exactly those rows instead of the stored relation —
+    this is the semi-naive delta position.
+    """
+    n = len(plans)
+    body_rows: list = [None] * n
+
+    def step(i: int, subst: dict) -> Iterator[tuple[dict, tuple]]:
+        if i == n:
+            yield subst, tuple(body_rows)
+            return
+        plan = plans[i]
+        if i == 0 and delta_rows is not None:
+            candidates = _filter_rows(plan, delta_rows, subst, stats)
+        else:
+            rel = db.relation(plan.atom.predicate)
+            if rel is None:
+                return
+            stats.join_probes += 1
+            candidates = rel.lookup(plan.bound_positions, plan.key_for(subst))
+        for row in candidates:
+            stats.rows_scanned += 1
+            extended = plan.bind(row, subst)
+            if extended is None:
+                continue
+            body_rows[i] = (plan.body_index, row)
+            yield from step(i + 1, extended)
+
+    start = dict(subst) if subst else {}
+    for final_subst, rows in step(0, start):
+        ordered: list = [None] * n
+        for body_index, row in rows:
+            ordered[body_index] = row
+        yield final_subst, tuple(ordered)
+
+
+def _filter_rows(plan: LiteralPlan, rows: frozenset, subst: dict, stats: EvalStats):
+    """Rows from an explicit set matching the plan's bound positions."""
+    stats.join_probes += 1
+    if not plan.bound_positions:
+        return list(rows)
+    key = plan.key_for(subst)
+    out = []
+    for row in rows:
+        if all(row[p] == key[i] for i, p in enumerate(plan.bound_positions)):
+            out.append(row)
+    return out

@@ -1,0 +1,99 @@
+"""Derivation trees (section 1.1 of the paper).
+
+For each fact in a derived predicate there is a finite derivation tree:
+the fact at the root, base facts at the leaves, and each internal node
+labeled by the rule that generates its fact from the facts labeling its
+children.  The engine records, for every derived fact, the *first*
+justification that produced it; :func:`derivation_tree` reconstructs the
+corresponding tree.  Trees are used by tests to validate the engine and
+to illustrate the replacement argument of Lemma 5.1's proof sketch
+(a subtree rooted at an occurrence ``p.n`` can be re-rooted under the
+query via a unit rule ``p.k``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Tuple
+
+__all__ = ["DerivationTree", "Justification", "derivation_tree"]
+
+FactKey = Tuple[str, tuple]  # (predicate, row)
+
+
+@dataclass(frozen=True)
+class Justification:
+    """Why a fact holds: the rule index and the body facts it consumed."""
+
+    rule_index: int
+    body: tuple[FactKey, ...]
+
+
+@dataclass(frozen=True)
+class DerivationTree:
+    """A derivation tree; ``rule_index`` is None at base-fact leaves."""
+
+    predicate: str
+    row: tuple
+    rule_index: Optional[int]
+    children: tuple["DerivationTree", ...] = ()
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.rule_index is None
+
+    def height(self) -> int:
+        """Height per the paper's convention: a base fact has height 1."""
+        if not self.children:
+            return 1
+        return 1 + max(c.height() for c in self.children)
+
+    def size(self) -> int:
+        """Number of nodes in the tree."""
+        return 1 + sum(c.size() for c in self.children)
+
+    def facts(self) -> frozenset[FactKey]:
+        """All facts labeling nodes of the tree."""
+        out = {(self.predicate, self.row)}
+        for c in self.children:
+            out |= c.facts()
+        return frozenset(out)
+
+    def render(self, indent: int = 0) -> str:
+        """A human-readable multi-line rendering."""
+        label = f"{self.predicate}{self.row!r}"
+        if self.rule_index is not None:
+            label += f"  [rule {self.rule_index}]"
+        lines = ["  " * indent + label]
+        for c in self.children:
+            lines.append(c.render(indent + 1))
+        return "\n".join(lines)
+
+
+def derivation_tree(
+    provenance: Mapping[FactKey, Justification],
+    predicate: str,
+    row: tuple,
+    _depth_guard: Optional[set] = None,
+) -> DerivationTree:
+    """Reconstruct the derivation tree of ``predicate(row)``.
+
+    Facts absent from *provenance* are base facts (leaves).  Because the
+    engine records the first justification of every fact, and a fact's
+    first justification can only consume facts derived strictly earlier,
+    the reconstruction always terminates; the guard set is a defensive
+    check against corrupted provenance maps.
+    """
+    key: FactKey = (predicate, row)
+    guard = _depth_guard if _depth_guard is not None else set()
+    if key in guard:
+        raise ValueError(f"cyclic provenance at {key}")
+    just = provenance.get(key)
+    if just is None:
+        return DerivationTree(predicate, row, None)
+    guard.add(key)
+    children = tuple(
+        derivation_tree(provenance, p, r, guard) for p, r in just.body
+    )
+    guard.discard(key)
+    return DerivationTree(predicate, row, just.rule_index, children)

@@ -1,0 +1,59 @@
+"""Chain programs as context-free grammars (sections 1.1, 3.2, 4).
+
+The grammar view powers the paper's undecidability results and the
+Lemma 4.1 equivalence characterizations; this package provides the
+transformation in both directions, bounded language enumeration, the
+self-embedding regularity test, and the constructive monadic-program
+direction of Theorem 3.3.
+"""
+
+from .cfg import Grammar, Production, grammar_to_program, program_to_grammar
+from .equivalence import (
+    db_equivalent_bounded,
+    query_equivalent_bounded,
+    uniform_query_equivalent_bounded,
+    uniformly_equivalent_bounded,
+)
+from .language import (
+    extended_language,
+    is_empty,
+    language,
+    productive_nonterminals,
+    reachable_nonterminals,
+    shortest_word,
+)
+from .regular import (
+    NFA,
+    is_left_linear,
+    is_right_linear,
+    is_self_embedding,
+    monadic_program_for,
+    nfa_accepts,
+    nfa_to_monadic_program,
+    right_linear_to_nfa,
+)
+
+__all__ = [
+    "Grammar",
+    "Production",
+    "grammar_to_program",
+    "program_to_grammar",
+    "db_equivalent_bounded",
+    "query_equivalent_bounded",
+    "uniform_query_equivalent_bounded",
+    "uniformly_equivalent_bounded",
+    "extended_language",
+    "is_empty",
+    "language",
+    "productive_nonterminals",
+    "reachable_nonterminals",
+    "shortest_word",
+    "NFA",
+    "is_left_linear",
+    "is_right_linear",
+    "is_self_embedding",
+    "monadic_program_for",
+    "nfa_accepts",
+    "nfa_to_monadic_program",
+    "right_linear_to_nfa",
+]

@@ -1,0 +1,122 @@
+"""Context-free grammars and the chain-program correspondence
+(section 1.1).
+
+A *binary chain program* has rules of the form::
+
+    p(X, Y) :- q1(X, Z1), q2(Z1, Z2), ..., qn(Zn-1, Y).
+
+Dropping the arguments turns each rule into a context-free production
+``P -> Q1 Q2 ... Qn``: IDB predicates become nonterminals, EDB
+predicates terminals, and the query predicate the start symbol.  The
+paper leans on this correspondence for its undecidability results
+(Theorem 3.3 via regularity of CFLs, Lemma 4.2 via extended-language
+equivalence) and for the exact equivalence characterizations of
+Lemma 4.1.
+
+The semantic link (used by the property tests): a chain program derives
+``p(x, y)`` over an edge-labelled graph iff some word of ``L(G, P)``
+labels a path from ``x`` to ``y``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..datalog.analysis import is_chain_program, is_chain_rule
+from ..datalog.ast import Atom, Program, Rule
+from ..datalog.errors import TransformError, ValidationError
+from ..datalog.terms import Variable
+
+__all__ = ["Production", "Grammar", "program_to_grammar", "grammar_to_program"]
+
+
+@dataclass(frozen=True, slots=True)
+class Production:
+    """A production ``lhs -> rhs`` (rhs non-empty: chain rules have at
+    least one body literal, so the grammars here are ε-free)."""
+
+    lhs: str
+    rhs: tuple[str, ...]
+
+    def __post_init__(self):
+        if not self.rhs:
+            raise ValidationError("ε-productions do not arise from chain programs")
+
+    def __str__(self) -> str:
+        return f"{self.lhs} -> {' '.join(self.rhs)}"
+
+
+@dataclass(frozen=True)
+class Grammar:
+    """A context-free grammar with an explicit start symbol.
+
+    Nonterminals are exactly the production left-hand sides; every
+    other symbol is terminal.
+    """
+
+    productions: tuple[Production, ...]
+    start: str
+
+    @property
+    def nonterminals(self) -> frozenset[str]:
+        return frozenset(p.lhs for p in self.productions)
+
+    @property
+    def terminals(self) -> frozenset[str]:
+        nts = self.nonterminals
+        return frozenset(
+            s for p in self.productions for s in p.rhs if s not in nts
+        )
+
+    def productions_for(self, nonterminal: str) -> tuple[Production, ...]:
+        return tuple(p for p in self.productions if p.lhs == nonterminal)
+
+    def with_start(self, start: str) -> "Grammar":
+        return Grammar(self.productions, start)
+
+    def __str__(self) -> str:
+        lines = [str(p) for p in self.productions]
+        lines.append(f"start: {self.start}")
+        return "\n".join(lines)
+
+
+def program_to_grammar(program: Program, start: Optional[str] = None) -> Grammar:
+    """Drop the arguments of a binary chain program (section 1.1).
+
+    *start* defaults to the program's query predicate.
+    """
+    if not is_chain_program(program):
+        bad = next((r for r in program.rules if not is_chain_rule(r)), None)
+        raise TransformError(f"not a binary chain program (offending rule: {bad})")
+    if start is None:
+        if program.query is None:
+            raise TransformError("no start symbol: program has no query")
+        start = program.query.predicate
+    productions = tuple(
+        Production(r.head.predicate, tuple(a.predicate for a in r.body))
+        for r in program.rules
+    )
+    return Grammar(productions, start)
+
+
+def grammar_to_program(grammar: Grammar, query_args: tuple = ("X", "Y")) -> Program:
+    """The inverse transformation: a binary chain program whose grammar
+    is *grammar*.
+
+    Each production ``P -> S1 ... Sn`` becomes
+    ``p(X, Y) :- s1(X, Z1), ..., sn(Zn-1, Y)``; the query is the start
+    symbol applied to *query_args*.
+    """
+    rules = []
+    for prod in grammar.productions:
+        n = len(prod.rhs)
+        vars_ = [Variable("X")] + [Variable(f"Z{i}") for i in range(1, n)] + [Variable("Y")]
+        body = tuple(
+            Atom(sym, (vars_[i], vars_[i + 1])) for i, sym in enumerate(prod.rhs)
+        )
+        rules.append(Rule(Atom(prod.lhs, (vars_[0], vars_[-1])), body))
+    from ..datalog.terms import term
+
+    query = Atom(grammar.start, tuple(term(a) for a in query_args))
+    return Program(tuple(rules), query)

@@ -1,0 +1,63 @@
+"""Bounded grammar-side equivalence checks (Lemma 4.1).
+
+Lemma 4.1 characterizes the four equivalence notions of section 4 for
+binary chain programs through language equalities of the corresponding
+grammars:
+
+1. DB equivalence          ⟺ ``L(G1, S) = L(G2, S)`` for every nonterminal S;
+2. query equivalence       ⟺ ``L(G1, Q1) = L(G2, Q2)``;
+3. uniform equivalence     ⟺ ``L^ex(G1, S) = L^ex(G2, S)`` for every S;
+4. uniform query equivalence ⟺ ``L^ex(G1, Q1) = L^ex(G2, Q2)``.
+
+All four language equalities are undecidable in general (which is how
+Lemma 4.2 gets the undecidability of uniform query equivalence), so the
+checks here are *length-bounded*: they compare all members up to a
+cap.  A bounded check returning False is a definite inequivalence
+witness; True means "equal up to the bound".  The property tests use
+these as one of three cross-checking equivalence oracles.
+"""
+
+from __future__ import annotations
+
+from .cfg import Grammar
+from .language import extended_language, language
+
+__all__ = [
+    "db_equivalent_bounded",
+    "query_equivalent_bounded",
+    "uniformly_equivalent_bounded",
+    "uniform_query_equivalent_bounded",
+]
+
+
+def _common_nonterminals(g1: Grammar, g2: Grammar) -> frozenset[str]:
+    return g1.nonterminals | g2.nonterminals
+
+
+def db_equivalent_bounded(g1: Grammar, g2: Grammar, max_length: int) -> bool:
+    """Lemma 4.1(1), up to *max_length*."""
+    return all(
+        language(g1.with_start(s), max_length) == language(g2.with_start(s), max_length)
+        for s in _common_nonterminals(g1, g2)
+    )
+
+
+def query_equivalent_bounded(g1: Grammar, g2: Grammar, max_length: int) -> bool:
+    """Lemma 4.1(2), up to *max_length* (start symbols as given)."""
+    return language(g1, max_length) == language(g2, max_length)
+
+
+def uniformly_equivalent_bounded(g1: Grammar, g2: Grammar, max_length: int) -> bool:
+    """Lemma 4.1(3), up to *max_length*."""
+    return all(
+        extended_language(g1.with_start(s), max_length)
+        == extended_language(g2.with_start(s), max_length)
+        for s in _common_nonterminals(g1, g2)
+    )
+
+
+def uniform_query_equivalent_bounded(
+    g1: Grammar, g2: Grammar, max_length: int
+) -> bool:
+    """Lemma 4.1(4), up to *max_length*."""
+    return extended_language(g1, max_length) == extended_language(g2, max_length)

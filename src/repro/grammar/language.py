@@ -1,0 +1,181 @@
+"""Languages of chain-program grammars: ``L(G)`` and ``L^ex(G)``.
+
+``L(G, S)`` is the set of terminal strings derivable from ``S``;
+``L^ex(G, S)`` — the paper's *extended language* — is the set of all
+sentential forms (strings possibly containing nonterminals) derivable
+from ``S``.  Lemma 4.1 characterizes the four program-equivalence
+notions of section 4 through equalities of these languages, and
+Lemma 4.2 derives the undecidability of uniform query equivalence from
+the undecidability of (extended) language equality.
+
+Exact equality being undecidable, this module provides *bounded*
+enumeration (all members up to a length cap) — enough for the
+length-bounded equivalence checks in
+:mod:`repro.grammar.equivalence` and the property tests, and exact
+emptiness/productivity/reachability, which are decidable.
+
+Chain-program grammars are ε-free (every production body is non-empty),
+which the enumeration exploits: derivation never shrinks a sentential
+form, so forms longer than the cap can be pruned.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator
+
+from .cfg import Grammar
+
+__all__ = [
+    "productive_nonterminals",
+    "reachable_nonterminals",
+    "is_empty",
+    "language",
+    "extended_language",
+    "shortest_word",
+]
+
+String = tuple[str, ...]
+
+
+def productive_nonterminals(grammar: Grammar) -> frozenset[str]:
+    """Nonterminals deriving at least one terminal string."""
+    nts = grammar.nonterminals
+    productive: set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for p in grammar.productions:
+            if p.lhs in productive:
+                continue
+            if all(s not in nts or s in productive for s in p.rhs):
+                productive.add(p.lhs)
+                changed = True
+    return frozenset(productive)
+
+
+def reachable_nonterminals(grammar: Grammar) -> frozenset[str]:
+    """Nonterminals reachable from the start symbol."""
+    nts = grammar.nonterminals
+    seen: set[str] = set()
+    stack = [grammar.start]
+    while stack:
+        nt = stack.pop()
+        if nt in seen or nt not in nts:
+            continue
+        seen.add(nt)
+        for p in grammar.productions_for(nt):
+            stack.extend(s for s in p.rhs if s in nts)
+    return frozenset(seen)
+
+
+def is_empty(grammar: Grammar) -> bool:
+    """True iff ``L(G, start)`` is empty (decidable)."""
+    return grammar.start not in productive_nonterminals(grammar) and (
+        grammar.start in grammar.nonterminals
+    )
+
+
+def _expand_leftmost(
+    form: String, grammar: Grammar, nts: frozenset[str]
+) -> Iterator[String]:
+    """Leftmost-derivation successors of a sentential form."""
+    for i, sym in enumerate(form):
+        if sym in nts:
+            for p in grammar.productions_for(sym):
+                yield form[:i] + p.rhs + form[i + 1 :]
+            return
+    return
+
+
+def language(
+    grammar: Grammar, max_length: int, max_strings: int = 100_000
+) -> frozenset[String]:
+    """All terminal strings of ``L(G, start)`` with length ≤ *max_length*.
+
+    Leftmost BFS with length pruning; ε-freeness guarantees termination.
+    *max_strings* caps the visited sentential forms defensively.
+    """
+    nts = grammar.nonterminals
+    if grammar.start not in nts:
+        # A terminal start symbol denotes the singleton language {start}.
+        return frozenset({(grammar.start,)} if max_length >= 1 else set())
+    out: set[String] = set()
+    seen: set[String] = set()
+    queue: deque[String] = deque([(grammar.start,)])
+    while queue:
+        form = queue.popleft()
+        if len(form) > max_length:
+            continue
+        if all(s not in nts for s in form):
+            out.add(form)
+            continue
+        for successor in _expand_leftmost(form, grammar, nts):
+            if len(successor) <= max_length and successor not in seen:
+                seen.add(successor)
+                if len(seen) > max_strings:
+                    raise MemoryError("bounded language enumeration cap exceeded")
+                queue.append(successor)
+    return frozenset(out)
+
+
+def extended_language(
+    grammar: Grammar, max_length: int, max_strings: int = 100_000
+) -> frozenset[String]:
+    """All sentential forms of length ≤ *max_length* derivable from the
+    start symbol — the bounded ``L^ex(G)`` of section 4 (general
+    derivations, not just leftmost, yield the same set of forms)."""
+    nts = grammar.nonterminals
+    start_form: String = (grammar.start,)
+    out: set[String] = set()
+    if len(start_form) <= max_length:
+        out.add(start_form)
+    seen: set[String] = {start_form}
+    queue: deque[String] = deque([start_form])
+    while queue:
+        form = queue.popleft()
+        # Expand at every nonterminal position (all sentential forms).
+        for i, sym in enumerate(form):
+            if sym not in nts:
+                continue
+            for p in grammar.productions_for(sym):
+                successor = form[:i] + p.rhs + form[i + 1 :]
+                if len(successor) <= max_length and successor not in seen:
+                    seen.add(successor)
+                    if len(seen) > max_strings:
+                        raise MemoryError("bounded L^ex enumeration cap exceeded")
+                    out.add(successor)
+                    queue.append(successor)
+    return frozenset(out)
+
+
+def shortest_word(grammar: Grammar) -> tuple[str, ...] | None:
+    """A shortest terminal string of ``L(G, start)``, or None if empty.
+
+    Dynamic programming on shortest derivable length per nonterminal.
+    """
+    nts = grammar.nonterminals
+    if grammar.start not in nts:
+        return (grammar.start,)
+    best: dict[str, String] = {}
+    changed = True
+    while changed:
+        changed = False
+        for p in grammar.productions:
+            parts: list[String] = []
+            ok = True
+            for s in p.rhs:
+                if s not in nts:
+                    parts.append((s,))
+                elif s in best:
+                    parts.append(best[s])
+                else:
+                    ok = False
+                    break
+            if not ok:
+                continue
+            candidate: String = tuple(x for part in parts for x in part)
+            if p.lhs not in best or len(candidate) < len(best[p.lhs]):
+                best[p.lhs] = candidate
+                changed = True
+    return best.get(grammar.start)

@@ -1,0 +1,22 @@
+"""Orthogonal rewritings: Magic Sets and Counting (selection pushing).
+
+The paper positions its projection-pushing framework as complementary
+to the selection-pushing rewritings ("Magic Sets, and Counting",
+sections 1 and 3); this package provides both so benchmarks can compose
+them with the existential optimizer.  Magic Sets is general; Counting
+is the classic restricted variant for linear recursion over acyclic
+data (see :mod:`repro.rewriting.counting` for the exact scope).
+"""
+
+from .counting import CountingResult, counting, counting_support, evaluate_counting
+from .magic import MagicResult, bf_adornment, magic_sets
+
+__all__ = [
+    "CountingResult",
+    "counting",
+    "counting_support",
+    "evaluate_counting",
+    "MagicResult",
+    "bf_adornment",
+    "magic_sets",
+]

@@ -1,0 +1,197 @@
+"""The Counting rewriting — the second selection-pushing method the
+paper names (sections 1 and 3: "rewriting algorithms such as Magic
+Sets or Counting").
+
+Counting specializes Magic Sets for *linear* recursions with a bound
+argument: instead of remembering **which** bindings reach the recursion
+(the magic set), it remembers only **how many** recursion levels were
+descended, then replays that count on the way out.  For the classic
+same-generation shape::
+
+    p(X, Y) :- up(X, U), p(U, V), down(V, Y).
+    p(X, Y) :- flat(X, Y).
+    ?- p(c, Y).
+
+the rewriting produces::
+
+    cnt(0, c).
+    cnt(J, U)  :- cnt(I, X), up(X, U), succ(I, J).
+    ans(I, Y)  :- cnt(I, X), flat(X, Y).
+    ans(I, Y)  :- ans(J, V), down(V, Y), succ(I, J).
+    query(Y)   :- ans(0, Y).
+
+**Scope and restrictions.**  Pure Datalog has no arithmetic, so level
+counters use a reserved binary EDB relation ``succ`` (``succ(i, i+1)``)
+that :func:`counting_support` generates up to a depth bound; and
+counting is classically sound only when the ``up`` part of the data is
+acyclic (on cyclic data the level count diverges — here the bounded
+``succ`` relation forces termination but may then lose answers).  The
+rewriting therefore *requires* the caller to pick a bound no smaller
+than the longest ``up``-path; :func:`evaluate_counting` derives a safe
+bound from the database.  These restrictions are the textbook ones —
+counting trades Magic Sets' generality for a smaller memo.
+
+Accepted input shape: one linear recursive rule
+``p(X, Y) :- up-literal, p(U, V), down-literal`` (each side one base
+literal linking the bound/free argument through the recursion), any
+number of non-recursive exit rules over base predicates, and a query
+binding the first argument.  Everything else raises
+:class:`TransformError` — use Magic Sets instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..datalog.ast import Atom, Program, Rule
+from ..datalog.database import Database
+from ..datalog.errors import TransformError
+from ..datalog.terms import Constant, Variable
+from ..engine.evaluator import EngineOptions, EvalResult, evaluate
+
+__all__ = ["counting", "counting_support", "evaluate_counting", "CountingResult"]
+
+SUCC = "succ"
+
+
+@dataclass(frozen=True)
+class CountingResult:
+    """The counting-rewritten program plus its reserved names."""
+
+    program: Program
+    count_predicate: str
+    answer_predicate: str
+    #: the EDB predicate holding the level successor relation
+    succ_predicate: str
+
+
+def _split_recursive_rule(rule: Rule, pred: str):
+    """Decompose ``p(X,Y) :- up(X,U), p(U,V), down(V,Y)`` (allowing the
+    literals in any order); returns (up_literal, down_literal)."""
+    rec = [i for i, a in enumerate(rule.body) if a.predicate == pred]
+    if len(rec) != 1:
+        raise TransformError("counting requires exactly one recursive literal")
+    rec_atom = rule.body[rec[0]]
+    others = [a for i, a in enumerate(rule.body) if i != rec[0]]
+    if len(others) != 2:
+        raise TransformError(
+            "counting requires exactly one literal on each side of the recursion"
+        )
+    head = rule.head
+    if head.arity != 2 or rec_atom.arity != 2:
+        raise TransformError("counting requires a binary recursive predicate")
+    x, y = head.args
+    u, v = rec_atom.args
+    if not all(isinstance(t, Variable) for t in (x, y, u, v)):
+        raise TransformError("counting requires variable arguments")
+    if len({x, y, u, v}) != 4:
+        raise TransformError("counting requires distinct chain variables")
+
+    def links(atom: Atom, a: Variable, b: Variable) -> bool:
+        return set(atom.variables()) == {a, b}
+
+    up = next((a for a in others if links(a, x, u)), None)
+    down = next((a for a in others if links(a, v, y)), None)
+    if up is None or down is None or up is down:
+        raise TransformError(
+            "counting requires an up-literal linking the bound argument and a "
+            "down-literal linking the free argument"
+        )
+    return x, y, u, v, up, down
+
+
+def counting(program: Program) -> CountingResult:
+    """Apply the counting rewriting to a bound-first-argument query
+    over a linear binary recursion (shape documented above)."""
+    if program.query is None:
+        raise TransformError("counting requires a query")
+    if program.has_negation():
+        raise TransformError("counting is implemented for negation-free programs")
+    from ..datalog.builtins import has_builtins
+
+    if has_builtins(program):
+        raise TransformError("counting is implemented for built-in-free programs")
+    program.validate()
+    query = program.query
+    pred = query.predicate
+    if pred in (SUCC,):
+        raise TransformError(f"{SUCC!r} is reserved by the counting rewriting")
+    if query.arity != 2 or not isinstance(query.args[0], Constant):
+        raise TransformError(
+            "counting requires a binary query with a bound first argument"
+        )
+    rules = program.rules_for(pred)
+    if not rules or rules != program.rules:
+        extra = [r for r in program.rules if r.head.predicate != pred]
+        if extra:
+            raise TransformError(
+                "counting handles single-predicate programs; other rules present"
+            )
+    recursive = [r for r in rules if any(a.predicate == pred for a in r.body)]
+    exits = [r for r in rules if r not in recursive]
+    if len(recursive) != 1 or not exits:
+        raise TransformError(
+            "counting requires exactly one recursive rule and at least one exit rule"
+        )
+    for r in exits:
+        if any(a.predicate == pred for a in r.body):
+            raise TransformError("exit rules must be non-recursive")
+
+    # Rename the source rules apart from the reserved level variables.
+    rec_rule = recursive[0].rename_apart("_c")
+    exits = [r.rename_apart("_c") for r in exits]
+    x, y, u, v, up, down = _split_recursive_rule(rec_rule, pred)
+
+    cnt = f"cnt_{pred}"
+    ans = f"ans_{pred}"
+    out = f"count_query_{pred}"
+    i, j = Variable("I"), Variable("J")
+    zero = Constant(0)
+    c = query.args[0]
+
+    new_rules: list[Rule] = [
+        Rule(Atom(cnt, (zero, c)), ()),
+        Rule(
+            Atom(cnt, (j, u)),
+            (Atom(cnt, (i, x)), up, Atom(SUCC, (i, j))),
+        ),
+    ]
+    for r in exits:
+        ex, ey = r.head.args
+        new_rules.append(Rule(Atom(ans, (i, ey)), (Atom(cnt, (i, ex)), *r.body)))
+    new_rules.append(
+        Rule(
+            Atom(ans, (i, y)),
+            (Atom(ans, (j, v)), down, Atom(SUCC, (i, j))),
+        )
+    )
+    new_rules.append(Rule(Atom(out, (Variable("Y"),)), (Atom(ans, (zero, Variable("Y"))),)))
+
+    rewritten = Program(tuple(new_rules), Atom(out, (Variable("Y"),)))
+    return CountingResult(rewritten, cnt, ans, SUCC)
+
+
+def counting_support(max_depth: int) -> Database:
+    """The ``succ`` relation for levels ``0..max_depth``."""
+    db = Database()
+    rel = db.ensure(SUCC, 2)
+    rel.update((i, i + 1) for i in range(max_depth))
+    return db
+
+
+def evaluate_counting(
+    result: CountingResult,
+    db: Database,
+    max_depth: int | None = None,
+    options: EngineOptions | None = None,
+) -> EvalResult:
+    """Evaluate a counting-rewritten program, supplying ``succ``.
+
+    *max_depth* defaults to the number of distinct constants in the
+    database — an upper bound on the longest simple ``up``-path, hence
+    safe for acyclic data (the soundness domain of counting).
+    """
+    if max_depth is None:
+        max_depth = max(len(db.active_domain()), 1)
+    merged = db.merged_with(counting_support(max_depth))
+    return evaluate(result.program, merged, options or EngineOptions())

@@ -1,0 +1,259 @@
+"""An interactive Datalog shell.
+
+Start with ``python -m repro shell [program.dl [facts.dl]]``.  Rules
+and facts typed at the prompt accumulate; a query (``?- ...``) is
+answered immediately.  Dot-commands inspect and transform the session:
+
+=================  =====================================================
+``?- q(X, _).``    run a query (existential positions projected)
+``p(X) :- ...``    add a rule
+``edge(1, 2).``    add a fact
+``.rules``         list the current rules
+``.facts [pred]``  list facts (optionally one predicate)
+``.optimize``      show the optimization pipeline for the last query
+``.explain p 1,2`` print the derivation tree of a fact
+``.stats``         work counters of the last evaluation
+``.strata``        stratification of the current rules
+``.load FILE``     read rules/facts from a file
+``.save FILE``     write the current facts as a fact file
+``.clear``         drop all rules and facts
+``.help``          this text
+``.quit``          leave
+=================  =====================================================
+
+The shell is a thin, testable layer: it reads from any iterable of
+lines and writes to any file-like object, so the test suite drives it
+with string buffers.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import IO, Iterable, Optional
+
+from .core.pipeline import optimize
+from .datalog import Database, Program, ReproError, parse
+from .datalog.analysis import stratify
+from .datalog.parser import split_facts
+from .engine import EngineOptions, evaluate
+
+__all__ = ["Shell", "run_shell"]
+
+PROMPT = "datalog> "
+
+
+class Shell:
+    """State and command dispatch for one interactive session."""
+
+    def __init__(self, out: Optional[IO[str]] = None):
+        self.out = out if out is not None else sys.stdout
+        self.rules: list = []
+        self.db = Database()
+        self.last_result = None
+        self.last_query = None
+
+    # -- helpers ---------------------------------------------------------
+
+    def _print(self, *lines: str) -> None:
+        for line in lines:
+            print(line, file=self.out)
+
+    def _program(self, query=None) -> Program:
+        return Program(tuple(self.rules), query)
+
+    # -- statement handling ------------------------------------------------
+
+    def handle(self, line: str) -> bool:
+        """Process one input line; returns False when the session ends."""
+        line = line.strip()
+        if not line or line.startswith("%"):
+            return True
+        try:
+            if line.startswith("."):
+                return self._command(line)
+            self._statement(line)
+        except ReproError as exc:
+            self._print(f"error: {exc}")
+        return True
+
+    def _statement(self, line: str) -> None:
+        if not line.endswith("."):
+            line += "."
+        parsed = parse(line)
+        if parsed.query is not None:
+            self._run_query(parsed.query)
+            return
+        program, facts = split_facts(parsed)
+        for fact in facts:
+            self.db.add_fact(fact)
+        if facts:
+            self._print(f"added {len(facts)} fact(s)")
+        if program.rules:
+            candidate = Program(tuple(self.rules) + program.rules)
+            candidate.validate()
+            self.rules.extend(program.rules)
+            self._print(f"added {len(program.rules)} rule(s)")
+
+    def _run_query(self, query) -> None:
+        program = self._program(query)
+        if query.predicate not in program.idb_predicates() and query.predicate not in self.db:
+            self._print(f"unknown predicate {query.predicate!r}")
+            return
+        result = evaluate(program, self.db, EngineOptions())
+        self.last_result = result
+        self.last_query = query
+        answers = sorted(result.answers(), key=repr)
+        for row in answers:
+            self._print(", ".join(map(str, row)) if row else "true")
+        self._print(f"({len(answers)} answer(s))")
+
+    # -- dot-commands ----------------------------------------------------------
+
+    def _command(self, line: str) -> bool:
+        parts = line.split()
+        cmd, args = parts[0], parts[1:]
+        if cmd in (".quit", ".exit"):
+            return False
+        handler = {
+            ".rules": self._cmd_rules,
+            ".facts": self._cmd_facts,
+            ".optimize": self._cmd_optimize,
+            ".explain": self._cmd_explain,
+            ".stats": self._cmd_stats,
+            ".strata": self._cmd_strata,
+            ".load": self._cmd_load,
+            ".save": self._cmd_save,
+            ".clear": self._cmd_clear,
+            ".help": self._cmd_help,
+        }.get(cmd)
+        if handler is None:
+            self._print(f"unknown command {cmd}; try .help")
+            return True
+        handler(args)
+        return True
+
+    def _cmd_rules(self, args) -> None:
+        if not self.rules:
+            self._print("(no rules)")
+        for i, r in enumerate(self.rules):
+            self._print(f"[{i}] {r}")
+
+    def _cmd_facts(self, args) -> None:
+        predicates = args if args else sorted(self.db.predicates())
+        total = 0
+        for pred in predicates:
+            for row in sorted(self.db.rows(pred), key=repr):
+                self._print(f"{pred}({', '.join(map(str, row))}).")
+                total += 1
+        self._print(f"({total} fact(s))")
+
+    def _cmd_optimize(self, args) -> None:
+        if self.last_query is None:
+            self._print("run a query first; .optimize explains its pipeline")
+            return
+        result = optimize(self._program(self.last_query))
+        self._print(result.describe())
+
+    def _cmd_explain(self, args) -> None:
+        if len(args) != 2:
+            self._print("usage: .explain <predicate> <v1,v2,...>")
+            return
+        pred = args[0]
+        row = tuple(
+            int(v) if v.lstrip("-").isdigit() else v for v in args[1].split(",")
+        )
+        program = self._program(None)
+        result = evaluate(program, self.db, EngineOptions(record_provenance=True))
+        if row not in result.facts(pred):
+            self._print(f"{pred}{row!r} was not derived")
+            return
+        self._print(result.derivation(pred, row).render())
+
+    def _cmd_stats(self, args) -> None:
+        if self.last_result is None:
+            self._print("no evaluation yet")
+        else:
+            self._print(self.last_result.stats.summary())
+
+    def _cmd_strata(self, args) -> None:
+        program = self._program(None)
+        if not program.rules:
+            self._print("(no rules)")
+            return
+        for i, layer in enumerate(stratify(program)):
+            self._print(f"stratum {i}: {', '.join(sorted(layer))}")
+
+    def _cmd_load(self, args) -> None:
+        if len(args) != 1:
+            self._print("usage: .load <file>")
+            return
+        try:
+            with open(args[0]) as f:
+                text = f.read()
+        except OSError as exc:
+            self._print(f"error: {exc}")
+            return
+        program, facts = split_facts(parse(text))
+        for fact in facts:
+            self.db.add_fact(fact)
+        self.rules.extend(program.rules)
+        self._print(f"loaded {len(program.rules)} rule(s), {len(facts)} fact(s)")
+        if program.query is not None:
+            self._run_query(program.query)
+
+    def _cmd_save(self, args) -> None:
+        if len(args) != 1:
+            self._print("usage: .save <file>")
+            return
+        from .datalog.dump import dumps_database
+
+        try:
+            with open(args[0], "w") as f:
+                f.write(dumps_database(self.db))
+        except OSError as exc:
+            self._print(f"error: {exc}")
+            return
+        self._print(f"saved {self.db.fact_count()} fact(s) to {args[0]}")
+
+    def _cmd_clear(self, args) -> None:
+        self.rules = []
+        self.db = Database()
+        self.last_result = None
+        self.last_query = None
+        self._print("cleared")
+
+    def _cmd_help(self, args) -> None:
+        self._print(
+            "statements: rules (p(X) :- q(X).), facts (edge(1,2).), queries (?- p(X).)",
+            "commands: .rules .facts .optimize .explain .stats .strata .load .save .clear .quit",
+        )
+
+
+def run_shell(
+    lines: Optional[Iterable[str]] = None,
+    out: Optional[IO[str]] = None,
+    interactive: Optional[bool] = None,
+) -> int:
+    """Run a shell session over *lines* (default: stdin).
+
+    With *interactive* (default: stdin is a TTY) a prompt is printed
+    before each read.
+    """
+    shell = Shell(out=out)
+    if lines is None:
+        lines = sys.stdin
+    if interactive is None:
+        interactive = hasattr(sys.stdin, "isatty") and sys.stdin.isatty()
+    if interactive:
+        shell._print("repro Datalog shell — .help for commands, .quit to leave")
+    iterator = iter(lines)
+    while True:
+        if interactive:
+            print(PROMPT, end="", file=shell.out, flush=True)
+        try:
+            line = next(iterator)
+        except StopIteration:
+            break
+        if not shell.handle(line):
+            break
+    return 0

@@ -1,0 +1,46 @@
+"""Synthetic workloads: the paper's example programs and EDB generators.
+
+- :mod:`~repro.workloads.paper_examples` — every worked example of the
+  paper (Examples 1-12) as parsed programs, including the adorned forms
+  the paper presents directly, with documented reconstructions where the
+  source text is garbled;
+- :mod:`~repro.workloads.graphs` — deterministic pseudo-random and
+  structured graph/relation generators used by the tests and benchmark
+  suite.
+"""
+
+from . import edb, families, graphs, paper_examples
+from .graphs import (
+    bipartite,
+    chain,
+    complete,
+    cycle,
+    grid,
+    layered_dag,
+    random_digraph,
+    random_relation,
+    tree,
+)
+from .edb import random_edb, uniform_instance
+from .families import all_families
+from .paper_examples import adorned_from_text
+
+__all__ = [
+    "edb",
+    "families",
+    "graphs",
+    "paper_examples",
+    "random_edb",
+    "uniform_instance",
+    "all_families",
+    "adorned_from_text",
+    "chain",
+    "cycle",
+    "tree",
+    "grid",
+    "complete",
+    "bipartite",
+    "layered_dag",
+    "random_digraph",
+    "random_relation",
+]

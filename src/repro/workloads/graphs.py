@@ -1,0 +1,118 @@
+"""Deterministic synthetic relation generators.
+
+All generators take an explicit ``seed`` where randomness is involved
+and return plain lists of tuples, ready for
+``Database.from_dict({"edge": ...})``.  Node identifiers are integers
+``0..n-1``.
+
+These stand in for the unspecified "database relations" of the paper's
+examples; the benchmark suite sweeps them over sizes and shapes to
+measure the direction and magnitude of each performance claim.
+"""
+
+from __future__ import annotations
+
+import random
+__all__ = [
+    "chain",
+    "cycle",
+    "tree",
+    "grid",
+    "complete",
+    "bipartite",
+    "layered_dag",
+    "random_digraph",
+    "random_relation",
+]
+
+Edge = tuple[int, int]
+
+
+def chain(n: int) -> list[Edge]:
+    """A path 0 -> 1 -> ... -> n-1 (n-1 edges)."""
+    return [(i, i + 1) for i in range(n - 1)]
+
+
+def cycle(n: int) -> list[Edge]:
+    """A directed cycle over n nodes."""
+    if n <= 0:
+        return []
+    return [(i, (i + 1) % n) for i in range(n)]
+
+
+def tree(n: int, fanout: int = 2) -> list[Edge]:
+    """A complete *fanout*-ary tree with n nodes, edges parent -> child."""
+    return [((i - 1) // fanout, i) for i in range(1, n)]
+
+
+def grid(rows: int, cols: int) -> list[Edge]:
+    """A rows x cols grid with edges right and down (a DAG).
+
+    Node ``(r, c)`` is numbered ``r * cols + c``.
+    """
+    edges: list[Edge] = []
+    for r in range(rows):
+        for c in range(cols):
+            node = r * cols + c
+            if c + 1 < cols:
+                edges.append((node, node + 1))
+            if r + 1 < rows:
+                edges.append((node, node + cols))
+    return edges
+
+
+def complete(n: int) -> list[Edge]:
+    """All n*(n-1) directed edges (no self-loops)."""
+    return [(i, j) for i in range(n) for j in range(n) if i != j]
+
+
+def bipartite(left: int, right: int, density: float = 1.0, seed: int = 0) -> list[Edge]:
+    """Edges from nodes ``0..left-1`` to ``left..left+right-1``."""
+    rng = random.Random(seed)
+    edges = []
+    for i in range(left):
+        for j in range(left, left + right):
+            if density >= 1.0 or rng.random() < density:
+                edges.append((i, j))
+    return edges
+
+
+def layered_dag(layers: int, width: int, fanout: int = 2, seed: int = 0) -> list[Edge]:
+    """A DAG of *layers* layers of *width* nodes; each node gets
+    *fanout* edges to random nodes of the next layer."""
+    rng = random.Random(seed)
+    edges = []
+    for layer in range(layers - 1):
+        base, nxt = layer * width, (layer + 1) * width
+        for i in range(width):
+            targets = rng.sample(range(width), min(fanout, width))
+            edges.extend((base + i, nxt + t) for t in targets)
+    return sorted(set(edges))
+
+
+def random_digraph(n: int, edges: int, seed: int = 0) -> list[Edge]:
+    """*edges* distinct random directed edges over n nodes (no loops)."""
+    rng = random.Random(seed)
+    out: set[Edge] = set()
+    limit = n * (n - 1)
+    target = min(edges, limit)
+    while len(out) < target:
+        i = rng.randrange(n)
+        j = rng.randrange(n)
+        if i != j:
+            out.add((i, j))
+    return sorted(out)
+
+
+def random_relation(
+    arity: int, rows: int, domain: int, seed: int = 0
+) -> list[tuple]:
+    """*rows* distinct random tuples of the given arity over
+    ``0..domain-1``."""
+    rng = random.Random(seed)
+    out: set[tuple] = set()
+    limit = domain**arity
+    target = min(rows, limit)
+    while len(out) < target:
+        out.add(tuple(rng.randrange(domain) for _ in range(arity)))
+    return sorted(out)

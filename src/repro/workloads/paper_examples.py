@@ -1,0 +1,380 @@
+"""The paper's worked examples (Examples 1-12), machine-readable.
+
+The paper's "evaluation" consists of twelve worked examples; this
+module provides each one as a parsed program (and, where the paper
+presents the adorned program directly, as an :class:`AdornedProgram`
+built by :func:`adorned_from_text`), so the test suite can check the
+implementation reproduces every transformation and the benchmark suite
+can measure every performance claim.
+
+**Reconstruction notes.**  The available source text of the paper is an
+OCR transcription, and the rule listings of Examples 7-11 are garbled
+(inconsistent arities and occurrence numbers).  Those examples are
+reconstructed here from the *prose*, which is intact and fully
+determines the intended behaviour; each reconstruction's docstring
+states the narrative facts it is built to exhibit, and the tests assert
+exactly those facts.  Examples 1-6 and 12 are legible in the source and
+are transcribed directly (modulo the ``@`` spelling of adornments).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..datalog.ast import Program
+from ..datalog.errors import ValidationError
+from ..datalog.parser import parse
+from ..core.adornment import (
+    Adornment,
+    AdornedLiteral,
+    AdornedProgram,
+    AdornedRule,
+    split_adorned,
+)
+
+__all__ = [
+    "adorned_from_text",
+    "example1_program",
+    "example1_adorned_text",
+    "example2_program",
+    "example3_expected_text",
+    "example5_program",
+    "example5_adorned_text",
+    "example6_optimized_text",
+    "example7_adorned",
+    "example7_reduced_text",
+    "example8_adorned",
+    "example8_empty_adorned",
+    "example9_adorned",
+    "example9_fold_spec",
+    "example10_adorned",
+    "example12_original",
+    "example12_transformed",
+]
+
+
+def adorned_from_text(
+    text: str,
+    booleans: Iterable[str] = (),
+    projected: bool = True,
+) -> AdornedProgram:
+    """Parse an adorned program written with ``@``-mangled names.
+
+    Predicates containing an adornment suffix (``a@nd``) are derived;
+    so are predicates defined by a rule and any names in *booleans*.
+    Base literals get an implicit all-``n`` adornment.  With
+    ``projected=True`` (the default), each adorned atom must have one
+    argument per ``n`` of its adornment; otherwise one per adornment
+    character.
+    """
+    program = parse(text)
+    if program.query is None:
+        raise ValidationError("adorned program text must include a query (?- ...)")
+    heads = {r.head.predicate for r in program.rules}
+    boolean_set = frozenset(booleans)
+
+    def to_lit(atom) -> AdornedLiteral:
+        base, ad = split_adorned(atom.predicate)
+        derived = ad is not None or atom.predicate in heads or atom.predicate in boolean_set
+        if ad is None:
+            ad = Adornment("n" * atom.arity)
+        expected = len(ad.needed_positions) if projected else len(ad)
+        if atom.arity != expected:
+            raise ValidationError(
+                f"literal {atom} has arity {atom.arity}, expected {expected} "
+                f"for adornment {ad} (projected={projected})"
+            )
+        return AdornedLiteral(atom, ad, derived)
+
+    rules = tuple(
+        AdornedRule(
+            to_lit(r.head),
+            tuple(to_lit(b) for b in r.body),
+            tuple(to_lit(b) for b in r.negative),
+        )
+        for r in program.rules
+    )
+    return AdornedProgram(
+        rules, to_lit(program.query), projected=projected, boolean_predicates=boolean_set
+    )
+
+
+# ---------------------------------------------------------------------------
+# Examples 1-4: right-linear transitive closure (sections 2 and 3.2)
+# ---------------------------------------------------------------------------
+
+def example1_program() -> Program:
+    """Example 1: the original program whose adornment the paper shows."""
+    return parse(
+        """
+        query(X) :- a(X, Y).
+        a(X, Y) :- p(X, Z), a(Z, Y).
+        a(X, Y) :- p(X, Y).
+        ?- query(X).
+        """
+    )
+
+
+def example1_adorned_text() -> str:
+    """The adorned program of Example 1, verbatim (``@`` spelling)."""
+    return """
+        query@n(X) :- a@nd(X, Y).
+        a@nd(X, Y) :- p(X, Z), a@nd(Z, Y).
+        a@nd(X, Y) :- p(X, Y).
+        ?- query@n(X).
+    """
+
+
+def example3_expected_text() -> str:
+    """Example 3: Example 1 after projection pushing — unary recursion."""
+    return """
+        query@n(X) :- a@nd(X).
+        a@nd(X) :- p(X, Z), a@nd(Z).
+        a@nd(X) :- p(X, Y).
+        ?- query@n(X).
+    """
+
+
+# ---------------------------------------------------------------------------
+# Example 2: connected components / boolean subqueries (section 3.1)
+# ---------------------------------------------------------------------------
+
+def example2_program() -> Program:
+    """Example 2's rules, wrapped in a query making p's second argument
+    existential (the paper gives the adornment ``p^nd`` directly; the
+    anonymous query variable produces it here)."""
+    return parse(
+        """
+        query(X, U) :- p(X, U).
+        p(X, U) :- q1(X, Y), q2(Y, Z), q3(U, V), q4(V), q5(W).
+        q4(X) :- q6(X).
+        ?- query(X, _).
+        """
+    )
+
+
+# ---------------------------------------------------------------------------
+# Examples 5 and 6: left-linear transitive closure (sections 3.3-5)
+# ---------------------------------------------------------------------------
+
+def example5_program() -> Program:
+    """Examples 5/6: the left-linear program with query ``a^nd``."""
+    return parse(
+        """
+        a(X, Y) :- a(X, Z), p(Z, Y).
+        a(X, Y) :- p(X, Y).
+        ?- a(X, _).
+        """
+    )
+
+
+def example5_adorned_text() -> str:
+    """The adorned (and projected) program of Example 5, verbatim."""
+    return """
+        a@nd(X) :- a@nn(X, Z), p(Z, Y).
+        a@nd(X) :- p(X, Y).
+        a@nn(X, Y) :- a@nn(X, Z), p(Z, Y).
+        a@nn(X, Y) :- p(X, Y).
+        ?- a@nd(X).
+    """
+
+
+def example6_optimized_text() -> str:
+    """The fully optimized program of Example 6."""
+    return """
+        a@nd(X) :- p(X, Y).
+        ?- a@nd(X).
+    """
+
+
+# ---------------------------------------------------------------------------
+# Example 7 (reconstructed): summary deletions, cascade, incompleteness
+# ---------------------------------------------------------------------------
+
+def example7_adorned() -> AdornedProgram:
+    """Example 7 (reconstruction; the source listing is OCR-garbled).
+
+    Built to exhibit exactly the narrative:
+
+    - rule 5 (defining ``p1``, body occurrence of ``p@nn``) is deleted
+      by Lemma 5.1 via the unit rule 0 (``p@nd :- p@nn``);
+    - rule 6 (body occurrence of ``p@nd``) is deleted by Lemma 5.1 via
+      the *trivial* unit rule ``p@nd :- p@nd``;
+    - with no rules left defining ``p1@nn``, rules 1 and 3 are
+      discarded by the cascade;
+    - the reduced program is ``{p@nd :- p@nn; p@nd :- b1; p@nn :- b1}``,
+      whose second rule is redundant but *not* deletable by the summary
+      procedure (the paper's closing remark).
+    """
+    return adorned_from_text(
+        """
+        p@nd(X) :- p@nn(X, Y).
+        p@nd(X) :- p1@nn(X, Z), b4(Z, Y).
+        p@nd(X) :- b1(X, Y).
+        p@nn(X, Y) :- p1@nn(X, Z), b4(Z, Y).
+        p@nn(X, Y) :- b1(X, Y).
+        p1@nn(X, Z) :- p@nn(X, U), b2(U, W, Z).
+        p1@nn(X, Z) :- p@nd(X), b3(U, W, Z).
+        ?- p@nd(X).
+        """
+    )
+
+
+def example7_reduced_text() -> str:
+    """The reduced program the paper reports for Example 7."""
+    return """
+        p@nd(X) :- p@nn(X, Y).
+        p@nd(X) :- b1(X, Y).
+        p@nn(X, Y) :- b1(X, Y).
+        ?- p@nd(X).
+    """
+
+
+# ---------------------------------------------------------------------------
+# Example 8 (reconstructed): deletion in the presence of other recursion
+# ---------------------------------------------------------------------------
+
+def example8_adorned() -> AdornedProgram:
+    """Example 8 (reconstruction; source listing OCR-garbled).
+
+    Built to exhibit the narrative's deletion chain in the presence of
+    a recursive predicate other than the query:
+
+    - rule 4 — the exit rule of the recursive ``p1``, whose body holds
+      an occurrence of ``p@nn`` — is deleted by Lemma 5.1 via the unit
+      rule 0;
+    - the recursive rule 3 then has "no exit rule defining p1" and
+      falls to the productivity cascade;
+    - rule 1 is dropped because it uses the now-unproductive ``p1``;
+    - rule 5 (defining ``p2``) becomes unreachable from the query and
+      is dropped by the reachability cascade.
+    """
+    return adorned_from_text(
+        """
+        p@nd(X) :- p@nn(X, Y).
+        p@nd(X) :- p1@nnn(X, Z, U), p2@nn(Z, U).
+        p@nn(X, Y) :- g0(X, Y).
+        p1@nnn(X, Z, U) :- p1@nnn(X, Z2, U2), g2(Z2, U2, Z, U).
+        p1@nnn(X, Z, U) :- p@nn(X, Y), g3(Y, Z, U).
+        p2@nn(Z, U) :- g4(Z, U).
+        ?- p@nd(X).
+        """
+    )
+
+
+def example8_empty_adorned() -> AdornedProgram:
+    """Example 8, emptiness variant.
+
+    The paper's program ends with "the set of answers is seen to be
+    empty" at compile time.  In this variant ``p@nn`` and ``p1`` are
+    mutually recursive with no base exit, so the productivity cascade
+    alone empties the whole program — compile-time detection of the
+    empty answer, one step earlier than the paper's rule-by-rule chain.
+    """
+    return adorned_from_text(
+        """
+        p@nd(X) :- p@nn(X, Y).
+        p@nd(X) :- p1@nnn(X, Z, U), p2@nn(Z, U).
+        p@nn(X, Y) :- p1@nnn(X, Y, U), g1(U).
+        p1@nnn(X, Z, U) :- p1@nnn(X, Z2, U2), g2(Z2, U2, Z, U).
+        p1@nnn(X, Z, U) :- p@nn(X, Y), g3(Y, Z, U).
+        p2@nn(Z, U) :- g4(Z, U).
+        ?- p@nd(X).
+        """
+    )
+
+
+# ---------------------------------------------------------------------------
+# Examples 9 and 11 (reconstructed): limits of summaries; folding
+# ---------------------------------------------------------------------------
+
+def example9_adorned() -> AdornedProgram:
+    """Example 9 (reconstruction; source listing OCR-garbled).
+
+    Built to exhibit the narrative: the last rule *is* deletable under
+    uniform query equivalence — its contribution through the query rule
+    0 is subsumed, because rule 0 applied directly to the deleted
+    rule's body already yields the query fact — but the summary
+    technique cannot see it (there is no unit rule; the paper
+    deliberately refrains from adding one).  Example 11's fix is to
+    *fold* rule 0's body into a view predicate, after which Lemma 5.1
+    applies; see :func:`example9_fold_spec`.
+    """
+    return adorned_from_text(
+        """
+        q0@n(X) :- p@nn(X, Y), g3(Y, Z, U).
+        q0@n(X) :- g1(X, Y).
+        p@nn(X, Y) :- g2(X, Y).
+        p@nn(X, Z) :- p@nn(X, Y), g3(Y, Z, U), g4(U, W).
+        ?- q0@n(X).
+        """
+    )
+
+
+def example9_fold_spec() -> tuple[int, Sequence[int], str]:
+    """The Example 11 "guess": fold rule 0's body literals 0 and 1
+    (``p@nn(X, Y), g3(Y, Z, U)``) into a view predicate."""
+    return 0, (0, 1), "qq"
+
+
+# ---------------------------------------------------------------------------
+# Example 10 (reconstructed): Lemma 5.3 beats Lemma 5.1
+# ---------------------------------------------------------------------------
+
+def example10_adorned() -> AdornedProgram:
+    """Example 10 (reconstruction; source listing OCR-garbled).
+
+    Built to exhibit the narrative: the last rule (``q@nn :- p@nn``)
+    can be deleted using Lemma 5.3 — the summaries reaching its body
+    occurrence of ``p@nn`` are the identity *and* the swap, each of
+    which is the projection of one of the two unit rules — but not
+    using Lemma 5.1, which needs a single unit rule equal to *every*
+    summary.  Deleting it leaves ``q@nn`` undefined, so rules 2 and 3
+    fall to the cascade.
+    """
+    return adorned_from_text(
+        """
+        p0@nn(X, Y) :- p@nn(X, Y).
+        p0@nn(X, Y) :- p@nn(Y, X).
+        p@nn(X, Y) :- q@nn(X, Y).
+        p@nn(X, Y) :- q@nn(Y, X).
+        q@nn(X, Y) :- p@nn(X, Y).
+        p@nn(X, Y) :- b(X, Y).
+        ?- p0@nn(X, Y).
+        """
+    )
+
+
+# ---------------------------------------------------------------------------
+# Example 12: a transformation beyond projection pushing (section 6)
+# ---------------------------------------------------------------------------
+
+def example12_original() -> Program:
+    """Example 12's original program: the recursion carries ``Z``
+    through every level and re-checks ``c(Z)`` each time, so plain
+    projection pushing cannot reduce the recursive predicate's arity
+    (``Z`` is needed)."""
+    return parse(
+        """
+        query(X, Y) :- p(X, Y, Z).
+        p(X, Y, Z) :- up(X, X1), p(X1, Y1, Z), dn(Y1, Y), c(Z).
+        p(X, Y, Z) :- b(X, Y, Z).
+        ?- query(X, Y).
+        """
+    )
+
+
+def example12_transformed() -> Program:
+    """Example 12's transformed program: the ``c(Z)`` check is hoisted
+    into the exit rule (one application suffices) and the zero-step
+    case bypasses it, so the recursive predicate drops to arity 2 while
+    preserving uniform query equivalence."""
+    return parse(
+        """
+        query(X, Y) :- pp(X, Y).
+        query(X, Y) :- b(X, Y, Z).
+        pp(X, Y) :- up(X, X1), pp(X1, Y1), dn(Y1, Y).
+        pp(X, Y) :- b(X, Y, Z), c(Z).
+        ?- query(X, Y).
+        """
+    )

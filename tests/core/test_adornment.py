@@ -1,0 +1,203 @@
+"""Tests for the adornment algorithm (section 2)."""
+
+import pytest
+
+from repro.datalog import TransformError, ValidationError, parse
+from repro.core.adornment import (
+    Adornment,
+    adorn,
+    adorned_name,
+    query_adornment,
+    split_adorned,
+)
+from repro.workloads.paper_examples import example1_adorned_text, example1_program
+
+
+def normalize(text: str) -> list[str]:
+    return [line.strip() for line in text.strip().splitlines() if line.strip()]
+
+
+class TestAdornment:
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            Adornment("nx")
+
+    def test_positions(self):
+        a = Adornment("ndn")
+        assert a.needed_positions == (0, 2)
+        assert a.existential_positions == (1,)
+
+    def test_all_needed(self):
+        assert Adornment.all_needed(3) == Adornment("nnn")
+        assert Adornment("nn").is_all_needed
+        assert not Adornment("nd").is_all_needed
+
+    def test_covers(self):
+        assert Adornment("nn").covers(Adornment("nd"))
+        assert Adornment("nn").covers(Adornment("nn"))
+        assert not Adornment("nd").covers(Adornment("nn"))
+        assert not Adornment("nn").covers(Adornment("n"))
+
+    def test_iteration_and_index(self):
+        a = Adornment("nd")
+        assert list(a) == ["n", "d"]
+        assert a[1] == "d"
+        assert len(a) == 2
+
+
+class TestNameMangling:
+    def test_roundtrip(self):
+        name = adorned_name("a", Adornment("nd"))
+        assert name == "a@nd"
+        assert split_adorned(name) == ("a", Adornment("nd"))
+
+    def test_plain_name(self):
+        assert split_adorned("edge") == ("edge", None)
+
+    def test_bf_suffix_not_confused(self):
+        # magic-sets names use @bf; not an n/d adornment
+        assert split_adorned("a@bf") == ("a@bf", None)
+
+
+class TestQueryAdornment:
+    def test_named_variables_needed(self):
+        p = parse("q(X, Y) :- e(X, Y). ?- q(X, Y).")
+        assert query_adornment(p.query) == Adornment("nn")
+
+    def test_anonymous_existential(self):
+        p = parse("q(X, Y) :- e(X, Y). ?- q(X, _).")
+        assert query_adornment(p.query) == Adornment("nd")
+
+    def test_constants_needed(self):
+        p = parse("q(X, Y) :- e(X, Y). ?- q(1, _).")
+        assert query_adornment(p.query) == Adornment("nd")
+
+
+class TestAdornAlgorithm:
+    def test_example1_verbatim(self):
+        adorned = adorn(example1_program())
+        assert normalize(str(adorned)) == normalize(example1_adorned_text())
+
+    def test_shared_variable_stays_needed(self):
+        p = parse("q(X) :- e(X, Y), f(Y). ?- q(X).")
+        adorned = adorn(p)
+        rule = adorned.rules[0]
+        assert str(rule.body[0].adornment) == "nn"  # Y occurs twice
+        assert str(rule.body[1].adornment) == "n"
+
+    def test_variable_at_d_head_position_only(self):
+        # U appears once in the body and only at a d position of the
+        # head: the algorithm marks it existential.
+        p = parse("q(X, U) :- e(X, U). ?- q(X, _).")
+        adorned = adorn(p)
+        assert str(adorned.rules[0].body[0].adornment) == "nd"
+        # Same shape through a derived predicate: a gets the nd form.
+        p2 = parse(
+            """
+            q(X, U) :- a(X, U).
+            a(X, U) :- e(X, U).
+            ?- q(X, _).
+            """
+        )
+        adorned2 = adorn(p2)
+        body_pred = adorned2.rules[0].body[0].atom.predicate
+        assert body_pred == "a@nd"
+
+    def test_variable_at_both_n_and_d_head_positions_is_needed(self):
+        p = parse(
+            """
+            q(X, X2) :- a(X, X2).
+            a(X, Y) :- e(X, Y).
+            ?- q(X, _).
+            """
+        )
+        # trick: same var at n and d head positions
+        p3 = parse(
+            """
+            q(X, X) :- a(X).
+            a(X) :- e(X, Y).
+            ?- q(X, _).
+            """
+        )
+        adorned = adorn(p3)
+        # X occurs at n position 0 → needed in body
+        assert adorned.rules[0].body[0].atom.predicate == "a@n"
+
+    def test_multiple_adorned_versions(self):
+        p = parse(
+            """
+            q(X) :- a(X, Y), a(Y, Z), mark(Z).
+            a(X, Y) :- e(X, Y).
+            ?- q(X).
+            """
+        )
+        adorned = adorn(p)
+        heads = {r.head.atom.predicate for r in adorned.rules}
+        # first occurrence a^nn (Y shared), second a^nn (both shared)
+        assert "a@nn" in heads
+
+    def test_distinct_versions_generated(self):
+        p = parse(
+            """
+            q(X) :- a(X, Y).
+            r(X) :- a(X, Y), c(Y).
+            q(X) :- r(X).
+            a(X, Y) :- e(X, Y).
+            ?- q(X).
+            """
+        )
+        adorned = adorn(p)
+        heads = {r.head.atom.predicate for r in adorned.rules}
+        assert {"a@nd", "a@nn"} <= heads  # both query forms of a
+
+    def test_base_predicates_not_renamed(self):
+        adorned = adorn(example1_program())
+        base = [
+            lit
+            for r in adorned.rules
+            for lit in r.body
+            if not lit.derived
+        ]
+        assert all(lit.atom.predicate == "p" for lit in base)
+
+    def test_constants_adorned_needed(self):
+        p = parse("q(X) :- a(X, 1). a(X, Y) :- e(X, Y). ?- q(X).")
+        adorned = adorn(p)
+        assert adorned.rules[0].body[0].atom.predicate == "a@nn"
+
+    def test_requires_query(self):
+        p = parse("a(X, Y) :- e(X, Y).")
+        with pytest.raises(TransformError):
+            adorn(p)
+
+    def test_query_predicate_must_be_derived(self):
+        p = parse("a(X, Y) :- e(X, Y). ?- ghost(X).")
+        with pytest.raises(TransformError):
+            adorn(p)
+
+    def test_explicit_query_adornment(self):
+        p = parse("a(X, Y) :- e(X, Y). ?- a(X, Y).")
+        adorned = adorn(p, query_ad=Adornment("nd"))
+        assert adorned.query.atom.predicate == "a@nd"
+
+    def test_adornment_arity_mismatch(self):
+        p = parse("a(X, Y) :- e(X, Y). ?- a(X, Y).")
+        with pytest.raises(TransformError):
+            adorn(p, query_ad=Adornment("n"))
+
+    def test_termination_on_cyclic_versions(self):
+        # swap recursion generates finitely many adorned versions
+        p = parse(
+            """
+            a(X, Y) :- a(Y, X).
+            a(X, Y) :- e(X, Y).
+            ?- a(X, _).
+            """
+        )
+        adorned = adorn(p)
+        heads = {r.head.atom.predicate for r in adorned.rules}
+        assert heads == {"a@nd", "a@dn"}
+
+    def test_to_program_is_valid(self):
+        adorned = adorn(example1_program())
+        adorned.to_program().validate()

@@ -1,0 +1,150 @@
+"""Tests for argument projections and summaries (section 5)."""
+
+import pytest
+
+from repro.datalog import TransformError
+from repro.core.argument_projection import (
+    ArgumentProjection,
+    head_body_projection,
+    identity_projection,
+    program_projections,
+    query_rooted_summaries,
+    summary_closure,
+)
+from repro.workloads.paper_examples import (
+    adorned_from_text,
+    example5_adorned_text,
+    example10_adorned,
+)
+
+
+def ap(left, right, *edges):
+    return ArgumentProjection(left, right, frozenset(edges))
+
+
+class TestCompose:
+    def test_relational_case(self):
+        # q0 -0~0- p, p -0~1- r  =>  q0 -0~1- r
+        first = ap("q", "p", (0, 0))
+        second = ap("p", "r", (0, 1))
+        assert first.compose(second) == ap("q", "r", (0, 1))
+
+    def test_disconnect(self):
+        first = ap("q", "p", (0, 0))
+        second = ap("p", "r", (1, 0))
+        assert first.compose(second) == ap("q", "r")
+
+    def test_zigzag_connectivity(self):
+        # q{0,1} both touch p0; p0 touches r0: both q nodes reach r0
+        first = ap("q", "p", (0, 0), (1, 0))
+        second = ap("p", "r", (0, 0))
+        assert first.compose(second) == ap("q", "r", (0, 0), (1, 0))
+
+    def test_zigzag_through_left(self):
+        # q0-p0, q0-p1, p1-r0: q0 reaches r0 through two mid nodes
+        first = ap("q", "p", (0, 0), (0, 1))
+        second = ap("p", "r", (1, 0))
+        assert (0, 0) in first.compose(second).edges
+
+    def test_mismatched_middle_rejected(self):
+        with pytest.raises(TransformError):
+            ap("q", "p").compose(ap("r", "s"))
+
+    def test_identity_neutral(self):
+        ident = identity_projection("p", 2)
+        proj = ap("q", "p", (0, 1))
+        assert proj.compose(ident) == proj
+
+    def test_swap_composition(self):
+        swap = ap("p", "p", (0, 1), (1, 0))
+        assert swap.compose(swap) == identity_projection("p", 2)
+
+    def test_maps_position(self):
+        proj = ap("q", "p", (0, 0), (0, 1), (1, 0))
+        assert proj.maps_position(0) == {0, 1}
+        assert proj.maps_position(2) == frozenset()
+
+
+class TestProgramProjections:
+    def test_example5(self):
+        program = adorned_from_text(example5_adorned_text())
+        projections = program_projections(program)
+        # derived occurrences: a@nn in rules 0 and 2
+        assert set(projections) == {(0, 0), (2, 0)}
+        assert projections[(0, 0)] == ap("a@nd", "a@nn", (0, 0))
+        assert projections[(2, 0)] == ap("a@nn", "a@nn", (0, 0))
+
+    def test_requires_projected(self):
+        from repro.core.adornment import adorn
+        from repro.workloads.paper_examples import example5_program
+
+        with pytest.raises(TransformError):
+            program_projections(adorn(example5_program()))
+
+    def test_constants_make_no_edges(self):
+        program = adorned_from_text(
+            "q@nn(X, Y) :- r@nn(X, 1). r@nn(X, Y) :- e(X, Y). ?- q@nn(X, Y)."
+        )
+        proj = program_projections(program)[(0, 0)]
+        assert proj.edges == {(0, 0)}
+
+
+class TestSummaryClosure:
+    def test_algorithm51_saturation(self):
+        s2 = summary_closure([ap("a", "b", (0, 0)), ap("b", "c", (0, 0))])
+        assert ap("a", "c", (0, 0)) in s2
+
+    def test_swap_cycle_saturates(self):
+        swap = ap("p", "p", (0, 1), (1, 0))
+        s2 = summary_closure([swap])
+        assert identity_projection("p", 2) in s2
+        assert len([s for s in s2 if s.left == s.right == "p"]) == 2
+
+    def test_cap_enforced(self):
+        with pytest.raises(TransformError):
+            # enough structure to exceed a tiny cap
+            summary_closure(
+                [
+                    ap("a", "a", (0, 1), (1, 2)),
+                    ap("a", "a", (2, 0)),
+                    ap("a", "a", (1, 0), (2, 1)),
+                ],
+                max_summaries=2,
+            )
+
+
+class TestQueryRootedSummaries:
+    def test_example5_fixpoint(self):
+        program = adorned_from_text(example5_adorned_text())
+        summaries = query_rooted_summaries(program)
+        assert summaries.by_predicate["a@nn"] == {ap("a@nd", "a@nn", (0, 0))}
+        assert summaries.by_occurrence[(2, 0)] == {ap("a@nd", "a@nn", (0, 0))}
+
+    def test_identity_seed(self):
+        program = adorned_from_text(example5_adorned_text())
+        summaries = query_rooted_summaries(program)
+        assert identity_projection("a@nd", 1) in summaries.by_predicate["a@nd"]
+
+    def test_example10_swap_and_identity(self):
+        program = example10_adorned()
+        summaries = query_rooted_summaries(program)
+        expected = {
+            ap("p0@nn", "p@nn", (0, 0), (1, 1)),
+            ap("p0@nn", "p@nn", (0, 1), (1, 0)),
+        }
+        assert summaries.by_predicate["p@nn"] == expected
+        # occurrence (4,0): the body of q@nn :- p@nn
+        assert summaries.by_occurrence[(4, 0)] == expected
+
+    def test_unreachable_predicate_empty(self):
+        program = adorned_from_text(
+            """
+            q@n(X) :- e(X, Y).
+            orphan@n(X) :- r@n(X).
+            r@n(X) :- f(X).
+            ?- q@n(X).
+            """
+        )
+        summaries = query_rooted_summaries(program)
+        assert "r@n" not in summaries.by_predicate
+        assert summaries.by_occurrence[(1, 0)] == frozenset()

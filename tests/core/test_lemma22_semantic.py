@@ -1,0 +1,190 @@
+"""Empirical validation of Lemma 2.2: the adornment algorithm marks an
+argument ``d`` only if it is *semantically* existential.
+
+The paper's semantic definition (section 2): the argument position of
+``Y`` in an occurrence ``p(X̄, Y)`` in rule ``r1`` is existential iff
+adding ``p'(X̄, Y') :- p(X̄, Y)`` (with ``Y'`` ranging freely) and
+replacing the occurrence — and any ``Y`` in the head — by the primed
+version preserves query equivalence.
+
+Over a finite database the free ``Y'`` ranges over the active domain,
+so the definition is testable: we materialize it with an auxiliary
+``dom`` relation holding the active domain and check query equivalence
+on batches of random databases.  Detecting existential arguments
+exactly is undecidable (Lemma 2.1); these tests check the *soundness*
+direction the lemma states, on every ``d`` the algorithm produces for a
+zoo of programs.
+"""
+
+import pytest
+
+from repro.datalog import Atom, Database, Program, Rule, Variable, parse
+from repro.engine import evaluate
+from repro.core.adornment import AdornedProgram, adorn
+from repro.workloads.edb import random_edb
+
+
+def transformed_by_definition(
+    program: Program, rule_index: int, body_index: int, position: int
+) -> Program:
+    """Build the paper's transformed program for one occurrence/position.
+
+    ``p(..., Y, ...)`` at *position* in body literal *body_index* of
+    rule *rule_index* is replaced by ``p_prime``; the new rule
+    ``p_prime(..., Y', ...) :- p(..., Y, ...), dom(Y')`` lets the primed
+    position take any active-domain value.
+    """
+    rule = program.rules[rule_index]
+    literal = rule.body[body_index]
+    term_y = literal.args[position]
+    assert isinstance(term_y, Variable)
+    y_prime = Variable(term_y.name + "_prime")
+
+    p_prime = literal.predicate + "_prime"
+    prime_args = tuple(
+        y_prime if i == position else a for i, a in enumerate(literal.args)
+    )
+    prime_def = Rule(
+        Atom(p_prime, prime_args),
+        (literal, Atom("dom", (y_prime,))),
+    )
+
+    new_body = tuple(
+        Atom(p_prime, prime_args) if i == body_index else a
+        for i, a in enumerate(rule.body)
+    )
+    new_head = rule.head.substitute({term_y: y_prime})
+    new_rule = Rule(new_head, new_body)
+
+    rules = list(program.rules)
+    rules[rule_index] = new_rule
+    rules.append(prime_def)
+    return Program(tuple(rules), program.query)
+
+
+def dom_augmented(db: Database) -> Database:
+    out = db.copy()
+    rel = out.ensure("dom", 1)
+    rel.update((v,) for v in db.active_domain())
+    return out
+
+
+def projected_answers(program: Program, adorned: AdornedProgram, db: Database):
+    """Answers projected onto the query's needed positions — the
+    paper's notion of the answer for a query form ``q^a`` (existential
+    positions are not part of the requested bindings)."""
+    needed = set(adorned.query.adornment.needed_positions)
+    keep = []
+    seen = set()
+    var_index = 0
+    for pos, arg in enumerate(program.query.args):
+        name = getattr(arg, "name", None)
+        if name is None or name in seen:
+            continue
+        seen.add(name)
+        if pos in needed:
+            keep.append(var_index)
+        var_index += 1
+    raw = evaluate(program, db).answers()
+    return frozenset(tuple(row[i] for i in keep) for row in raw)
+
+
+def check_all_d_positions(source: str, seeds=range(3), rows=15, domain=6):
+    """For every ``d`` the adornment algorithm assigns to a *derived or
+    base* body occurrence, check the semantic definition holds."""
+    program = parse(source)
+    adorned = adorn(program)
+    # map adorned rules back to original rules by index order of
+    # (base predicate, rule shape); adorn() emits one adorned rule per
+    # (adorned head, original rule) pair, so re-derive the original by
+    # stripping adornments.
+    from repro.core.adornment import split_adorned
+
+    checked = 0
+    for arule in adorned.rules:
+        base_head = split_adorned(arule.head.atom.predicate)[0]
+        # find the original rule with this head and matching body bases
+        candidates = [
+            (ri, r)
+            for ri, r in enumerate(program.rules)
+            if r.head.predicate == base_head
+            and len(r.body) == len(arule.body)
+            and all(
+                split_adorned(al.atom.predicate)[0] == b.predicate
+                for al, b in zip(arule.body, r.body)
+            )
+        ]
+        assert candidates, f"no original rule for {arule}"
+        ri, orig = candidates[0]
+        for bi, alit in enumerate(arule.body):
+            for pos in alit.adornment.existential_positions:
+                if not isinstance(orig.body[bi].args[pos], Variable):
+                    continue
+                transformed = transformed_by_definition(program, ri, bi, pos)
+                for seed in seeds:
+                    db = dom_augmented(
+                        random_edb(program, rows=rows, domain=domain, seed=seed)
+                    )
+                    a1 = projected_answers(program, adorned, db)
+                    a2 = projected_answers(transformed, adorned, db)
+                    assert a1 == a2, (
+                        f"position {pos} of {orig.body[bi]} in rule {ri} "
+                        f"is not semantically existential (seed {seed})"
+                    )
+                checked += 1
+    return checked
+
+
+PROGRAMS = {
+    "tc-sources": """
+        query(X) :- a(X, Y).
+        a(X, Y) :- p(X, Z), a(Z, Y).
+        a(X, Y) :- p(X, Y).
+        ?- query(X).
+    """,
+    "guard": """
+        q(X) :- item(X, Y), w(U, V), mark(V).
+        ?- q(X).
+    """,
+    "left-linear": """
+        a(X, Y) :- a(X, Z), p(Z, Y).
+        a(X, Y) :- p(X, Y).
+        ?- a(X, _).
+    """,
+    "multi-d": """
+        q(X) :- r(X, Y, Z).
+        r(X, Y, Z) :- e(X, Y), f(X, Z).
+        ?- q(X).
+    """,
+    "head-d-chain": """
+        q(X, U) :- a(X, U).
+        a(X, U) :- e(X, U).
+        ?- q(X, _).
+    """,
+}
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_every_d_is_semantically_existential(name):
+    checked = check_all_d_positions(PROGRAMS[name])
+    assert checked >= 1, "test vacuous: no d positions produced"
+
+
+def test_needed_argument_fails_the_definition():
+    """Sanity for the oracle itself: a genuinely *needed* argument does
+    not satisfy the semantic definition."""
+    program = parse(
+        """
+        query(X) :- a(X, Y), mark(Y).
+        a(X, Y) :- p(X, Y).
+        ?- query(X).
+        """
+    )
+    transformed = transformed_by_definition(program, 0, 0, 1)  # Y of a(X, Y)
+    # deterministic witness: a's Y value (2) never matches mark (3),
+    # but the freed Y' ranges over the domain and does
+    db = dom_augmented(Database.from_dict({"p": [(1, 2)], "mark": [(3,)]}))
+    a1 = evaluate(program, db).answers()
+    a2 = evaluate(transformed, db).answers()
+    assert a1 == frozenset()
+    assert a2 == {(1,)}, "oracle failed to distinguish a needed argument"

@@ -1,0 +1,151 @@
+"""Tests for optimistic derivations and Theorem 5.2 (section 5)."""
+
+import pytest
+
+from repro.datalog import Database, TransformError, parse
+from repro.core.optimistic import (
+    WILDCARD,
+    optimistic_answer,
+    optimistic_fixpoint,
+    theorem52_deletable,
+)
+
+
+class TestOptimisticFixpoint:
+    def test_single_known_literal_fires_rule(self):
+        program = parse("h(X) :- a(X), b(X). ?- h(X).")
+        db = Database.from_dict({"a": [(1,)]})
+        facts = optimistic_fixpoint(program, db)
+        # b(1) is merely assumed, yet h(1) is optimistically derived
+        assert (1,) in facts["h"]
+
+    def test_unbound_head_variable_becomes_wildcard(self):
+        program = parse("h(X, Y) :- a(X), b(Y). ?- h(X, Y).")
+        db = Database.from_dict({"a": [(1,)]})
+        facts = optimistic_fixpoint(program, db)
+        assert (1, WILDCARD) in facts["h"]
+
+    def test_wildcard_matches_constant_pattern(self):
+        program = parse(
+            """
+            mid(X, Y) :- a(X), b(Y).
+            out(Z) :- mid(7, Z).
+            ?- out(Z).
+            """
+        )
+        db = Database.from_dict({"a": [(1,)]})
+        facts = optimistic_fixpoint(program, db)
+        # mid(1, ★) does not match mid(7, Z); but mid(★, ★) from b-side
+        # would. With only a known, mid(1, ★) is the only mid fact.
+        assert ("out" not in facts) or all(f == (WILDCARD,) for f in facts["out"])
+
+    def test_wildcard_unifies_with_repeated_variable(self):
+        program = parse(
+            """
+            mid(X, Y) :- a(X), b(Y).
+            diag(X) :- mid(X, X).
+            ?- diag(X).
+            """
+        )
+        db = Database.from_dict({"a": [(1,)]})
+        facts = optimistic_fixpoint(program, db)
+        # mid(1, ★) includes mid(1, 1): diag(1) must appear
+        assert (1,) in facts["diag"]
+
+    def test_chain_propagation(self):
+        program = parse(
+            """
+            p(X) :- e(X, Y), p(Y).
+            p(X) :- final(X).
+            ?- p(X).
+            """
+        )
+        db = Database.from_dict({"e": [(1, 2)]})
+        facts = optimistic_fixpoint(program, db)
+        assert (1,) in facts["p"]  # fires optimistically from e alone
+
+    def test_termination_on_recursion(self):
+        program = parse(
+            """
+            p(X, Y) :- p(Y, X).
+            p(X, Y) :- e(X, Y).
+            ?- p(X, Y).
+            """
+        )
+        db = Database.from_dict({"e": [(1, 2)]})
+        facts = optimistic_fixpoint(program, db)
+        assert (2, 1) in facts["p"]
+
+    def test_cap(self):
+        program = parse("p(X, Y) :- e(X, Z), p(Z, Y). p(X, Y) :- e(X, Y). ?- p(X, Y).")
+        db = Database.from_dict({"e": [(i, i + 1) for i in range(30)]})
+        with pytest.raises(TransformError):
+            optimistic_fixpoint(program, db, max_facts=10)
+
+
+class TestOptimisticAnswer:
+    def test_selection_applied(self):
+        program = parse("h(X) :- a(X), b(X). ?- h(1).")
+        db = Database.from_dict({"a": [(1,), (2,)]})
+        answers = optimistic_answer(program, db)
+        assert (1,) in answers and (2,) not in answers
+
+    def test_requires_query(self):
+        program = parse("h(X) :- a(X).")
+        with pytest.raises(TransformError):
+            optimistic_answer(program, Database())
+
+
+class TestTheorem52:
+    def test_accepts_truly_redundant_rule(self):
+        # h has two identical rules; optimistically they derive the same
+        program = parse(
+            """
+            h(X) :- a(X).
+            h(X) :- a(X).
+            ?- h(X).
+            """
+        )
+        assert theorem52_deletable(program, 0)
+
+    def test_rejects_needed_rule(self):
+        program = parse(
+            """
+            h(X) :- a(X).
+            h(X) :- b(X).
+            ?- h(X).
+            """
+        )
+        assert not theorem52_deletable(program, 0)
+
+    def test_conservative_on_example6(self):
+        # documented: the wildcard abstraction is too coarse for the
+        # left-linear TC deletion the chase handles (module docstring)
+        from repro.workloads.paper_examples import (
+            adorned_from_text,
+            example5_adorned_text,
+        )
+
+        program = adorned_from_text(example5_adorned_text()).to_program()
+        assert not theorem52_deletable(program, 2)
+
+    def test_explicit_idb2_subset(self):
+        program = parse(
+            """
+            h(X) :- a(X).
+            h(X) :- a(X).
+            h(X) :- c(X).
+            ?- h(X).
+            """
+        )
+        assert theorem52_deletable(program, 0, idb2_indexes=frozenset({1, 2}))
+        assert not theorem52_deletable(program, 0, idb2_indexes=frozenset({2}))
+
+    def test_candidate_rule_must_be_excluded_from_idb2(self):
+        program = parse("h(X) :- a(X). h(X) :- a(X). ?- h(X).")
+        with pytest.raises(TransformError):
+            theorem52_deletable(program, 0, idb2_indexes=frozenset({0}))
+
+    def test_fact_rule_not_deletable(self):
+        program = parse("h(1). h(X) :- a(X). ?- h(X).")
+        assert not theorem52_deletable(program, 0)

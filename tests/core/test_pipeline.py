@@ -1,0 +1,136 @@
+"""Tests for the end-to-end optimization pipeline."""
+
+import pytest
+
+from repro.datalog import parse
+from repro.engine import evaluate
+from repro.core.pipeline import optimize
+from repro.workloads.edb import random_edb
+from repro.workloads.paper_examples import (
+    example1_program,
+    example2_program,
+    example5_program,
+)
+
+
+def check_equivalent(result, seeds=range(5), rows=25, domain=10):
+    for seed in seeds:
+        db = random_edb(result.original, rows=rows, domain=domain, seed=seed)
+        assert result.answers(db) == result.reference_answers(db), seed
+
+
+class TestPipelinePaperPrograms:
+    def test_example1_to_nonrecursive(self):
+        result = optimize(example1_program())
+        # projection + deletion: the final program is non-recursive
+        from repro.datalog.analysis import recursive_predicates
+
+        assert recursive_predicates(result.program) == frozenset()
+        check_equivalent(result)
+
+    def test_example2_boolean_cut(self):
+        result = optimize(example2_program())
+        assert result.cut_predicates  # booleans survive to the final program
+        check_equivalent(result)
+
+    def test_example6_single_rule(self):
+        result = optimize(example5_program())
+        assert len(result.program.rules) == 1
+        assert str(result.program.rules[0]) == "a@nd(X) :- p(X, Y)."
+        check_equivalent(result)
+
+
+class TestPipelineOptions:
+    def test_no_deletion(self):
+        result = optimize(example1_program(), deletion=None)
+        assert result.deletion is None
+        check_equivalent(result)
+
+    def test_no_projection_skips_deletion(self):
+        result = optimize(example1_program(), project=False, split=False)
+        assert result.projected is None and result.deletion is None
+        # unprojected adorned program is still equivalent
+        check_equivalent(result)
+
+    def test_safe_split_without_projection(self):
+        result = optimize(
+            example2_program(), paper_mode=False, project=False, deletion=None
+        )
+        result.program.validate()
+        check_equivalent(result)
+
+    def test_lemma51_method(self):
+        result = optimize(example5_program(), deletion="lemma51")
+        check_equivalent(result)
+
+    def test_without_chase_or_sagiv(self):
+        result = optimize(
+            example5_program(), use_chase=False, use_sagiv=False, unit_rules=False
+        )
+        check_equivalent(result)
+
+    def test_describe_mentions_all_phases(self):
+        text = optimize(example2_program()).describe()
+        for keyword in ("original", "adorned", "components", "projections", "final"):
+            assert keyword in text
+
+
+class TestPipelineGeneralPrograms:
+    @pytest.mark.parametrize(
+        "src",
+        [
+            # same generation, existential query
+            """
+            sg(X, Y) :- flat(X, Y).
+            sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).
+            ?- sg(X, _).
+            """,
+            # two recursion levels
+            """
+            q(X) :- r(X, Y).
+            r(X, Y) :- s(X, Z), r(Z, Y).
+            r(X, Y) :- s(X, Y).
+            s(X, Y) :- e(X, Y).
+            ?- q(X).
+            """,
+            # nonlinear recursion
+            """
+            t(X, Y) :- e(X, Y).
+            t(X, Y) :- t(X, Z), t(Z, Y).
+            ?- t(X, _).
+            """,
+            # query with constants
+            """
+            tc(X, Y) :- e(X, Y).
+            tc(X, Y) :- e(X, Z), tc(Z, Y).
+            ?- tc(1, _).
+            """,
+            # disconnected guard component
+            """
+            q(X) :- item(X), ok(Y, Z).
+            ok(Y, Z) :- w(Y), v(Z).
+            ?- q(X).
+            """,
+        ],
+        ids=["same-gen", "two-level", "nonlinear", "constant-query", "guard"],
+    )
+    def test_equivalence_on_random_edbs(self, src):
+        result = optimize(parse(src))
+        check_equivalent(result, seeds=range(4), rows=20, domain=8)
+
+    def test_never_more_rules_than_pre_deletion(self):
+        # deletion never leaves more rules than it started with
+        for src_fn in (example1_program, example2_program, example5_program):
+            result = optimize(src_fn())
+            pre = len(result.projected.rules) + (
+                len(result.unit_rules.added) if result.unit_rules else 0
+            )
+            assert len(result.program) <= pre
+
+    def test_optimized_never_slower_in_facts(self):
+        program = example1_program()
+        result = optimize(program)
+        db = random_edb(program, rows=60, domain=25, seed=2)
+        orig = evaluate(program, db).stats
+        opt = result.evaluate(db).stats
+        assert opt.facts_derived <= orig.facts_derived

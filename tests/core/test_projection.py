@@ -1,0 +1,124 @@
+"""Tests for projection pushing (section 3.2, Lemma 3.2)."""
+
+import pytest
+
+from repro.datalog import Database, TransformError, parse
+from repro.engine import evaluate
+from repro.core.adornment import adorn
+from repro.core.projection import project_literal, push_projections
+from repro.workloads.edb import random_edb
+from repro.workloads.paper_examples import (
+    adorned_from_text,
+    example1_program,
+    example3_expected_text,
+)
+
+
+def normalize(text: str) -> list[str]:
+    return [line.strip() for line in text.strip().splitlines() if line.strip()]
+
+
+class TestProjectLiteral:
+    def test_drops_d_positions(self):
+        adorned = adorn(example1_program())
+        lit = adorned.rules[0].body[0]  # a@nd(X, Y)
+        projected = project_literal(lit)
+        assert projected.atom.arity == 1
+        assert str(projected.atom) == "a@nd(X)"
+
+    def test_base_literal_untouched(self):
+        adorned = adorn(example1_program())
+        base = adorned.rules[1].body[0]  # p(X, Z)
+        assert project_literal(base) is base
+
+    def test_all_needed_untouched(self):
+        adorned = adorn(parse("q(X) :- a(X). a(X) :- e(X, Y). ?- q(X)."))
+        lit = adorned.rules[0].body[0]
+        assert project_literal(lit).atom.arity == 1
+
+    def test_double_projection_rejected(self):
+        adorned = adorn(example1_program())
+        lit = project_literal(adorned.rules[0].body[0])
+        with pytest.raises(TransformError):
+            project_literal(lit)
+
+
+class TestPushProjections:
+    def test_example3_verbatim(self):
+        projected = push_projections(adorn(example1_program()))
+        assert normalize(str(projected)) == normalize(example3_expected_text())
+
+    def test_marks_projected(self):
+        projected = push_projections(adorn(example1_program()))
+        assert projected.projected
+
+    def test_reapplication_rejected(self):
+        projected = push_projections(adorn(example1_program()))
+        with pytest.raises(TransformError):
+            push_projections(projected)
+
+    def test_output_is_safe(self):
+        projected = push_projections(adorn(example1_program()))
+        projected.to_program().validate()
+
+    def test_recursive_arity_reduced(self):
+        projected = push_projections(adorn(example1_program()))
+        arities = projected.to_program().arities()
+        assert arities["a@nd"] == 1  # was 2
+
+    def test_lemma32_answers_preserved(self):
+        program = example1_program()
+        projected = push_projections(adorn(program)).to_program()
+        for seed in range(5):
+            db = random_edb(program, rows=30, domain=12, seed=seed)
+            assert (
+                evaluate(program, db).answers()
+                == evaluate(projected, db).answers()
+            )
+
+    def test_fewer_facts_produced(self):
+        program = example1_program()
+        projected = push_projections(adorn(program)).to_program()
+        db = random_edb(program, rows=60, domain=20, seed=1)
+        orig = evaluate(program, db).stats
+        opt = evaluate(projected, db).stats
+        assert opt.facts_derived < orig.facts_derived
+        assert opt.duplicates <= orig.duplicates
+
+    def test_query_atom_projected(self):
+        p = parse("a(X, Y) :- e(X, Y). ?- a(X, _).")
+        projected = push_projections(adorn(p))
+        assert projected.query.atom.arity == 1
+
+    def test_multi_d_positions(self):
+        p = parse(
+            """
+            q(X) :- a(X, Y, Z).
+            a(X, Y, Z) :- e(X, Y), f(X, Z).
+            ?- q(X).
+            """
+        )
+        projected = push_projections(adorn(p))
+        arities = projected.to_program().arities()
+        assert arities["a@ndd"] == 1
+
+    def test_head_d_variable_occurring_twice_in_body(self):
+        # Y is at a d head position but joins two body literals: the
+        # body keeps the join, only the head column is dropped.
+        p = parse(
+            """
+            q(X) :- a(X, Y).
+            a(X, Y) :- e(X, Y), f(Y).
+            ?- q(X).
+            """
+        )
+        projected = push_projections(adorn(p))
+        rule = next(
+            r for r in projected.rules if r.head.atom.predicate == "a@nd"
+        )
+        assert rule.head.atom.arity == 1
+        assert len(rule.body) == 2
+        program = projected.to_program()
+        program.validate()
+        db = Database.from_dict({"e": [(1, 2), (3, 4)], "f": [(2,)]})
+        assert evaluate(program, db).answers() == {(1,)}

@@ -1,0 +1,138 @@
+"""Tests for θ-subsumption (the section-6 direction)."""
+
+from repro.datalog import parse, parse_rule
+from repro.engine import evaluate
+from repro.core.subsumption import delete_subsumed, subsumed_by_some, theta_subsumes
+from repro.core.uniform_equivalence import uniformly_equivalent
+from repro.workloads.edb import random_edb
+
+
+class TestThetaSubsumes:
+    def test_instance_subsumed(self):
+        general = parse_rule("p(X, Y) :- e(X, Y).")
+        special = parse_rule("p(X, X) :- e(X, X).")
+        assert theta_subsumes(general, special)
+        assert not theta_subsumes(special, general)
+
+    def test_shorter_body_subsumes(self):
+        short = parse_rule("p(X) :- e(X, Y).")
+        long = parse_rule("p(X) :- e(X, Y), f(Y, Z).")
+        assert theta_subsumes(short, long)
+        assert not theta_subsumes(long, short)
+
+    def test_constant_specialization(self):
+        general = parse_rule("p(X) :- e(X, Y).")
+        special = parse_rule("p(X) :- e(X, 3).")
+        assert theta_subsumes(general, special)
+        assert not theta_subsumes(special, general)
+
+    def test_variants_subsume_each_other(self):
+        a = parse_rule("p(X, Y) :- e(X, Z), f(Z, Y).")
+        b = parse_rule("p(A, B) :- e(A, C), f(C, B).")
+        assert theta_subsumes(a, b) and theta_subsumes(b, a)
+
+    def test_different_heads(self):
+        a = parse_rule("p(X) :- e(X).")
+        b = parse_rule("q(X) :- e(X).")
+        assert not theta_subsumes(a, b)
+
+    def test_repeated_variable_blocks_generalization(self):
+        # p(X) :- e(X, X) requires the target's args identified
+        special = parse_rule("p(X) :- e(X, X).")
+        general = parse_rule("p(X) :- e(X, Y).")
+        assert theta_subsumes(general, special)
+        assert not theta_subsumes(special, general)
+
+    def test_permuted_bodies(self):
+        a = parse_rule("p(X) :- e(X, Y), f(Y).")
+        b = parse_rule("p(X) :- f(Y), e(X, Y).")
+        assert theta_subsumes(a, b) and theta_subsumes(b, a)
+
+    def test_multiple_match_candidates_backtracking(self):
+        subsumer = parse_rule("p(X) :- e(X, Y), e(Y, Z).")
+        target = parse_rule("p(X) :- e(X, X), e(X, W), e(W, V).")
+        assert theta_subsumes(subsumer, target)
+
+    def test_shared_name_no_capture(self):
+        # same variable names in both rules must not leak
+        a = parse_rule("p(X) :- e(X, Y).")
+        b = parse_rule("p(Y) :- e(Y, X), f(X).")
+        assert theta_subsumes(a, b)
+
+
+class TestDeleteSubsumed:
+    def test_example9_style_redundancy(self):
+        # rule 1 subsumes rule 2 (extra literal on the subsumed side)
+        program = parse(
+            """
+            p(X) :- e(X, Y).
+            p(X) :- e(X, Y), g(Y, W).
+            ?- p(X).
+            """
+        )
+        trimmed, deleted = delete_subsumed(program)
+        assert len(trimmed) == 1
+        assert len(deleted) == 1
+        assert str(deleted[0][1]) == "p(X) :- e(X, Y)."
+
+    def test_variant_pair_keeps_one(self):
+        program = parse(
+            """
+            p(X) :- e(X, Y).
+            p(A) :- e(A, B).
+            ?- p(X).
+            """
+        )
+        trimmed, deleted = delete_subsumed(program)
+        assert len(trimmed) == 1 and len(deleted) == 1
+
+    def test_no_false_positives(self):
+        program = parse(
+            """
+            p(X) :- e(X, Y).
+            p(X) :- f(X, Y).
+            p(X) :- e(X, Y), mark(X).
+            ?- p(X).
+            """
+        )
+        # third rule subsumed by the first; second survives
+        trimmed, deleted = delete_subsumed(program)
+        assert len(trimmed) == 2
+
+    def test_preserves_uniform_equivalence(self):
+        program = parse(
+            """
+            p(X, Y) :- e(X, Y).
+            p(X, Y) :- e(X, Y), e(Y, Z).
+            p(X, X) :- e(X, X).
+            ?- p(X, Y).
+            """
+        )
+        trimmed, deleted = delete_subsumed(program)
+        assert deleted
+        assert uniformly_equivalent(program, trimmed)
+
+    def test_differential_on_random_dbs(self):
+        program = parse(
+            """
+            tc(X, Y) :- e(X, Y).
+            tc(X, Y) :- e(X, Z), tc(Z, Y).
+            tc(X, Y) :- e(X, Y), aux(X).
+            ?- tc(X, Y).
+            """
+        )
+        trimmed, deleted = delete_subsumed(program)
+        assert len(deleted) == 1
+        for seed in range(4):
+            db = random_edb(program, rows=15, domain=8, seed=seed)
+            assert evaluate(program, db).answers() == evaluate(trimmed, db).answers()
+
+    def test_subsumed_by_some(self):
+        rules = parse(
+            """
+            p(X) :- e(X, Y).
+            p(X) :- e(X, 1).
+            """
+        ).rules
+        assert subsumed_by_some(rules[1], [rules[0]]) is rules[0]
+        assert subsumed_by_some(rules[0], [rules[1]]) is None

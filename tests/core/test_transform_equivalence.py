@@ -1,0 +1,93 @@
+"""Generic transformation-equivalence checks via the shared helper.
+
+Exercises :func:`tests.conftest.assert_query_equivalent` on every
+standalone transformation whose output is a plain evaluable program —
+a second, uniformly-phrased layer over the per-phase suites.
+"""
+
+from repro.core import (
+    adorn,
+    delete_rules,
+    delete_subsumed,
+    minimize_uniform,
+    push_projections,
+)
+from repro.core.folding import fold_program
+from repro.core.unfolding import unfold_nonrecursive
+from repro.datalog import parse
+from repro.workloads.paper_examples import (
+    adorned_from_text,
+    example5_adorned_text,
+    example7_adorned,
+    example9_adorned,
+    example9_fold_spec,
+)
+from tests.conftest import assert_query_equivalent
+
+
+def test_adorn_and_project_equivalent():
+    program = parse(
+        """
+        q(X) :- r(X, Y), s(Y, Z).
+        r(X, Y) :- e(X, Y).
+        r(X, Y) :- e(X, Z), r(Z, Y).
+        ?- q(X).
+        """
+    )
+    projected = push_projections(adorn(program)).to_program()
+    assert_query_equivalent(program, projected, seeds=range(3), rows=15, domain=7)
+
+
+def test_delete_rules_equivalent():
+    before = adorned_from_text(example5_adorned_text())
+    after = delete_rules(before)
+    assert_query_equivalent(
+        before.to_program(), after.program.to_program(), seeds=range(3)
+    )
+
+
+def test_subsumption_equivalent():
+    program = parse(
+        """
+        p(X, Y) :- e(X, Y).
+        p(X, Y) :- e(X, Y), f(Y, Z).
+        p(X, X) :- e(X, X).
+        ?- p(X, Y).
+        """
+    )
+    trimmed, _ = delete_subsumed(program)
+    assert_query_equivalent(program, trimmed, seeds=range(3), rows=15, domain=7)
+
+
+def test_minimize_uniform_equivalent():
+    program = parse(
+        """
+        q(X) :- e(X, Y), e(X, Y2).
+        q(X) :- q(X).
+        ?- q(X).
+        """
+    )
+    assert_query_equivalent(
+        program, minimize_uniform(program), seeds=range(3), rows=15, domain=7
+    )
+
+
+def test_fold_equivalent():
+    program = example9_adorned()
+    ri, bis, name = example9_fold_spec()
+    folded = fold_program(program, ri, bis, name)
+    assert_query_equivalent(
+        program.to_program(),
+        folded.program.to_program(),
+        seeds=range(3),
+        rows=15,
+        domain=7,
+    )
+
+
+def test_unfold_equivalent():
+    before = example7_adorned()
+    after = unfold_nonrecursive(delete_rules(before).program)
+    assert_query_equivalent(
+        before.to_program(), after.program.to_program(), seeds=range(3)
+    )

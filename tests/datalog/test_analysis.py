@@ -1,0 +1,131 @@
+"""Unit tests for static program analysis."""
+
+from repro.datalog import parse
+from repro.datalog.analysis import (
+    analyze,
+    dependency_graph,
+    is_chain_program,
+    is_chain_rule,
+    reachable_predicates,
+    recursive_predicates,
+    strongly_connected_components,
+    undefined_body_predicates,
+)
+from repro.datalog.parser import parse_rule
+
+
+TC = parse(
+    """
+    tc(X, Y) :- edge(X, Y).
+    tc(X, Y) :- edge(X, Z), tc(Z, Y).
+    ?- tc(X, Y).
+    """
+)
+
+MUTUAL = parse(
+    """
+    even(X) :- zero(X).
+    even(X) :- succ(Y, X), odd(Y).
+    odd(X) :- succ(Y, X), even(X).
+    ?- even(X).
+    """
+)
+
+
+class TestDependencyGraph:
+    def test_tc(self):
+        g = dependency_graph(TC)
+        assert g == {"tc": frozenset({"edge", "tc"})}
+
+    def test_mutual(self):
+        g = dependency_graph(MUTUAL)
+        assert g["even"] == {"zero", "succ", "odd"}
+        assert g["odd"] == {"succ", "even"}
+
+
+class TestSCC:
+    def test_self_loop(self):
+        sccs = strongly_connected_components({"a": frozenset({"a"})})
+        assert frozenset({"a"}) in sccs
+
+    def test_mutual_component(self):
+        g = dependency_graph(MUTUAL)
+        sccs = strongly_connected_components(g)
+        assert frozenset({"even", "odd"}) in sccs
+
+    def test_reverse_topological_order(self):
+        g = {"a": frozenset({"b"}), "b": frozenset({"c"}), "c": frozenset()}
+        sccs = strongly_connected_components(g)
+        order = [next(iter(s)) for s in sccs]
+        assert order.index("c") < order.index("a")
+
+
+class TestRecursion:
+    def test_tc_recursive(self):
+        assert recursive_predicates(TC) == {"tc"}
+
+    def test_mutual_recursive(self):
+        assert recursive_predicates(MUTUAL) == {"even", "odd"}
+
+    def test_nonrecursive(self):
+        p = parse("q(X) :- p(X, Y). ?- q(X).")
+        assert recursive_predicates(p) == frozenset()
+
+
+class TestReachability:
+    def test_from_query(self):
+        p = parse(
+            """
+            q(X) :- a(X).
+            a(X) :- b(X, Y).
+            orphan(X) :- c(X).
+            ?- q(X).
+            """
+        )
+        assert reachable_predicates(p, ["q"]) == {"q", "a", "b"}
+
+    def test_undefined_body_predicates(self):
+        p = parse("q(X) :- ghost(X). ?- q(X).")
+        assert undefined_body_predicates(p) == {"ghost"}
+        assert undefined_body_predicates(p, edb=["ghost"]) == frozenset()
+
+
+class TestChainDetection:
+    def test_chain_rule(self):
+        assert is_chain_rule(parse_rule("p(X, Y) :- a(X, Z), b(Z, Y)."))
+        assert is_chain_rule(parse_rule("p(X, Y) :- a(X, Y)."))
+
+    def test_long_chain(self):
+        assert is_chain_rule(
+            parse_rule("p(X, Y) :- a(X, Z1), b(Z1, Z2), c(Z2, Z3), d(Z3, Y).")
+        )
+
+    def test_not_chain_broken_link(self):
+        assert not is_chain_rule(parse_rule("p(X, Y) :- a(X, Z), b(W, Y)."))
+
+    def test_not_chain_wrong_arity(self):
+        assert not is_chain_rule(parse_rule("p(X, Y) :- a(X, Y, Z), b(Z, Y)."))
+        assert not is_chain_rule(parse_rule("p(X) :- a(X, X)."))
+
+    def test_not_chain_head_vars_equal(self):
+        assert not is_chain_rule(parse_rule("p(X, X) :- a(X, X)."))
+
+    def test_not_chain_repeated_middle(self):
+        assert not is_chain_rule(parse_rule("p(X, Y) :- a(X, Z), b(Z, Z), c(Z, Y)."))
+
+    def test_not_chain_empty_body(self):
+        assert not is_chain_rule(parse_rule("p(X, Y) :- q(Y, X)."))
+
+    def test_chain_program(self):
+        assert is_chain_program(TC)
+        assert not is_chain_program(MUTUAL)
+
+
+class TestAnalyzeBundle:
+    def test_bundle_fields(self):
+        info = analyze(TC)
+        assert info.recursive == {"tc"}
+        assert info.idb == {"tc"}
+        assert info.edb == {"edge"}
+        assert info.reachable_from_query == {"tc", "edge"}
+        assert info.is_derived("tc") and not info.is_derived("edge")

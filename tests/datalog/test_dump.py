@@ -1,0 +1,81 @@
+"""Tests for database serialization round-trips."""
+
+import io
+
+import pytest
+
+from repro.datalog import Database, ValidationError
+from repro.datalog.dump import (
+    dump_database,
+    dumps_database,
+    load_database,
+    loads_database,
+)
+
+
+class TestRoundTrip:
+    def test_integers(self):
+        db = Database.from_dict({"edge": [(1, 2), (2, 3)]})
+        assert loads_database(dumps_database(db)) == db
+
+    def test_strings(self):
+        db = Database.from_dict({"likes": [("ann", "bob")]})
+        assert loads_database(dumps_database(db)) == db
+
+    def test_awkward_strings_quoted(self):
+        db = Database.from_dict({"p": [("X", "has space"), ("123", "UPPER")]})
+        text = dumps_database(db)
+        assert "'X'" in text and "'has space'" in text
+        assert loads_database(text) == db
+
+    def test_arity_zero(self):
+        db = Database()
+        db.ensure("flag", 0).add(())
+        text = dumps_database(db)
+        assert text.strip() == "flag."
+        assert loads_database(text).rows("flag") == {()}
+
+    def test_mixed_relations_sorted(self):
+        db = Database.from_dict({"b": [(2,)], "a": [(1,)]})
+        lines = dumps_database(db).splitlines()
+        assert lines == ["a(1).", "b(2)."]
+
+    def test_predicate_filter(self):
+        db = Database.from_dict({"a": [(1,)], "b": [(2,)]})
+        assert "b(" not in dumps_database(db, predicates=["a"])
+
+    def test_streams(self):
+        db = Database.from_dict({"e": [(1, 2)]})
+        buf = io.StringIO()
+        dump_database(db, buf)
+        buf.seek(0)
+        assert load_database(buf) == db
+
+    def test_empty_database(self):
+        assert dumps_database(Database()) == ""
+        assert loads_database("") == Database()
+
+
+class TestValidation:
+    def test_rules_rejected(self):
+        with pytest.raises(ValidationError):
+            loads_database("p(X) :- q(X).")
+
+    def test_query_rejected(self):
+        with pytest.raises(ValidationError):
+            loads_database("?- p(X).")
+
+
+class TestShellSave:
+    def test_save_and_reload(self, tmp_path):
+        from tests.test_shell import run
+
+        target = tmp_path / "facts.dl"
+        output = run(["edge(1, 2).", f".save {target}"])
+        assert "saved 1 fact(s)" in output
+        assert loads_database(target.read_text()).rows("edge") == {(1, 2)}
+
+    def test_save_usage(self):
+        from tests.test_shell import run
+
+        assert "usage: .save" in run([".save"])

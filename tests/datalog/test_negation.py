@@ -1,0 +1,171 @@
+"""Tests for negated literals in the AST, parser, and stratification.
+
+Stratified negation is the section-6 extension direction ("generalize
+the above results to ... negation"); these tests cover the substrate
+half — the optimizer-side behaviour is in tests/core/test_negation_*.
+"""
+
+import pytest
+
+from repro.datalog import SafetyError, ValidationError, atom, parse, parse_rule
+from repro.datalog.analysis import (
+    dependency_graph,
+    is_stratified,
+    negative_dependencies,
+    stratify,
+)
+from repro.datalog.ast import Rule
+
+
+class TestAst:
+    def test_rule_with_negative(self):
+        r = Rule(atom("p", "X"), (atom("n", "X"),), (atom("q", "X"),))
+        assert r.negative == (atom("q", "X"),)
+        assert str(r) == "p(X) :- n(X), not q(X)."
+
+    def test_variables_include_negative(self):
+        r = parse_rule("p(X) :- n(X, Y), not q(Y).")
+        assert [v.name for v in r.variables()] == ["X", "Y"]
+
+    def test_safety_negative_vars_must_be_positive_bound(self):
+        safe = parse_rule("p(X) :- n(X, Y), not q(Y).")
+        assert safe.is_safe()
+        unsafe = parse_rule("p(X) :- n(X), not q(X, Y).")
+        assert not unsafe.is_safe()
+
+    def test_substitute_touches_negative(self):
+        from repro.datalog.terms import Constant, Variable
+
+        r = parse_rule("p(X) :- n(X), not q(X).")
+        out = r.substitute({Variable("X"): Constant(1)})
+        assert str(out) == "p(1) :- n(1), not q(1)."
+
+    def test_predicates_include_negative(self):
+        r = parse_rule("p(X) :- n(X), not q(X).")
+        assert r.predicates() == {"p", "n", "q"}
+
+    def test_program_has_negation(self):
+        assert parse("p(X) :- n(X), not q(X).").has_negation()
+        assert not parse("p(X) :- n(X).").has_negation()
+
+    def test_arities_cover_negatives(self):
+        p = parse("p(X) :- n(X), not q(X, X).")
+        assert p.arities()["q"] == 2
+
+    def test_edb_includes_negated_predicates(self):
+        p = parse("p(X) :- n(X), not q(X). ?- p(X).")
+        assert p.edb_predicates() == {"n", "q"}
+
+    def test_validate_rejects_unsafe_negation(self):
+        p = parse("p(X) :- n(X), not q(X, Y). ?- p(X).")
+        with pytest.raises(SafetyError):
+            p.validate()
+
+
+class TestParser:
+    def test_not_keyword(self):
+        r = parse_rule("p(X) :- n(X), not q(X).")
+        assert len(r.body) == 1 and len(r.negative) == 1
+
+    def test_multiple_negations_interleaved(self):
+        r = parse_rule("p(X) :- not a(X), n(X), not b(X).")
+        assert [a.predicate for a in r.body] == ["n"]
+        assert [a.predicate for a in r.negative] == ["a", "b"]
+
+    def test_not_as_predicate_name_with_parens(self):
+        # 'not(X)' is an atom of predicate "not", not a negation
+        r = parse_rule("p(X) :- not(X).")
+        assert r.body[0].predicate == "not"
+        assert r.negative == ()
+
+    def test_roundtrip(self):
+        src = "p(X) :- n(X), not q(X)."
+        assert str(parse_rule(src)) == src
+
+
+class TestStratification:
+    def test_two_strata(self):
+        p = parse(
+            """
+            reach(X) :- start(X).
+            reach(Y) :- reach(X), edge(X, Y).
+            unreachable(X) :- node(X), not reach(X).
+            ?- unreachable(X).
+            """
+        )
+        assert stratify(p) == [frozenset({"reach"}), frozenset({"unreachable"})]
+
+    def test_pure_datalog_single_stratum(self):
+        p = parse(
+            """
+            tc(X, Y) :- e(X, Y).
+            tc(X, Y) :- e(X, Z), tc(Z, Y).
+            ?- tc(X, Y).
+            """
+        )
+        assert stratify(p) == [frozenset({"tc"})]
+
+    def test_negation_of_edb_is_fine(self):
+        p = parse("p(X) :- n(X), not base(X). ?- p(X).")
+        assert is_stratified(p)
+        assert stratify(p) == [frozenset({"p"})]
+
+    def test_recursion_through_negation_rejected(self):
+        p = parse(
+            """
+            win(X) :- move(X, Y), not win(Y).
+            ?- win(X).
+            """
+        )
+        assert not is_stratified(p)
+        with pytest.raises(ValidationError):
+            stratify(p)
+
+    def test_mutual_negative_cycle_rejected(self):
+        p = parse(
+            """
+            p(X) :- n(X), not q(X).
+            q(X) :- n(X), not p(X).
+            ?- p(X).
+            """
+        )
+        assert not is_stratified(p)
+
+    def test_three_strata_chain(self):
+        p = parse(
+            """
+            a(X) :- base(X).
+            b(X) :- base(X), not a(X).
+            c(X) :- base(X), not b(X).
+            ?- c(X).
+            """
+        )
+        layers = stratify(p)
+        assert layers == [
+            frozenset({"a"}),
+            frozenset({"b"}),
+            frozenset({"c"}),
+        ]
+
+    def test_positive_recursion_with_lower_negation(self):
+        p = parse(
+            """
+            bad(X) :- flag(X).
+            good(X) :- node(X), not bad(X).
+            good(Y) :- good(X), edge(X, Y), not bad(Y).
+            ?- good(X).
+            """
+        )
+        layers = stratify(p)
+        assert layers.index(frozenset({"bad"})) < layers.index(frozenset({"good"}))
+
+    def test_negative_dependencies(self):
+        p = parse("p(X) :- n(X), not q(X). q(X) :- m(X). ?- p(X).")
+        assert negative_dependencies(p) == {("p", "q")}
+
+
+class TestDependencyGraphWithNegation:
+    def test_graph_includes_negative_edges(self):
+        p = parse("p(X) :- n(X), not q(X). q(X) :- m(X). ?- p(X).")
+        g = dependency_graph(p)
+        assert "q" in g["p"]

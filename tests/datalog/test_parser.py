@@ -1,0 +1,139 @@
+"""Unit tests for the Datalog lexer and parser."""
+
+import pytest
+
+from repro.datalog import ParseError, atom, parse, parse_atom, parse_rule
+from repro.datalog.parser import split_facts, tokenize
+from repro.datalog.terms import Constant, Variable
+
+
+class TestTokenizer:
+    def kinds(self, src):
+        return [t.kind for t in tokenize(src)]
+
+    def test_simple_rule(self):
+        assert self.kinds("p(X) :- q(X).") == [
+            "IDENT", "LPAREN", "IDENT", "RPAREN", "IMPLIES",
+            "IDENT", "LPAREN", "IDENT", "RPAREN", "DOT", "EOF",
+        ]
+
+    def test_comment_skipped(self):
+        assert self.kinds("% hello\np.") == ["IDENT", "DOT", "EOF"]
+
+    def test_adorned_identifier(self):
+        toks = list(tokenize("a@nd(X)"))
+        assert toks[0].text == "a@nd"
+
+    def test_occurrence_dot_identifier(self):
+        toks = list(tokenize("p.1(X)."))
+        assert toks[0].text == "p.1"
+        # the final '.' terminates the clause rather than joining
+        assert toks[-2].kind == "DOT"
+
+    def test_number(self):
+        toks = list(tokenize("p(42)"))
+        assert toks[2].kind == "NUMBER" and toks[2].text == "42"
+
+    def test_negative_number(self):
+        toks = list(tokenize("p(-3)"))
+        assert toks[2].text == "-3"
+
+    def test_string_literal(self):
+        toks = list(tokenize("p('Hello world')"))
+        assert toks[2].kind == "STRING" and toks[2].text == "Hello world"
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            list(tokenize("p('oops"))
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            list(tokenize("p(X) & q(X)"))
+
+    def test_positions(self):
+        toks = list(tokenize("p.\nq."))
+        assert toks[0].line == 1
+        assert toks[2].line == 2
+
+
+class TestParser:
+    def test_program_shape(self):
+        p = parse(
+            """
+            tc(X, Y) :- edge(X, Y).
+            tc(X, Y) :- edge(X, Z), tc(Z, Y).
+            ?- tc(1, Y).
+            """
+        )
+        assert len(p.rules) == 2
+        assert p.query == atom("tc", 1, "Y")
+
+    def test_fact(self):
+        p = parse("edge(1, 2).")
+        assert p.rules[0].is_fact()
+
+    def test_arity_zero_atom_with_and_without_parens(self):
+        p = parse("b :- c(). c() :- d.")
+        assert p.rules[0].head.arity == 0
+        assert p.rules[0].body[0].arity == 0
+
+    def test_anonymous_variables_fresh_per_occurrence(self):
+        r = parse_rule("p(X) :- q(_, _), r(_).")
+        body_vars = [v.name for a in r.body for v in a.variables()]
+        assert len(set(body_vars)) == 3
+
+    def test_anonymous_scoped_per_clause(self):
+        p = parse("p(X) :- q(X, _). r(X) :- s(X, _).")
+        v1 = p.rules[0].body[0].args[1]
+        v2 = p.rules[1].body[0].args[1]
+        assert v1 == v2  # same generated name, different clauses
+
+    def test_quoted_constant_not_variable(self):
+        r = parse_rule("p(X) :- q(X, 'Y').")
+        assert r.body[0].args[1] == Constant("Y")
+
+    def test_variable_vs_constant(self):
+        a = parse_atom("p(X, abc, 3)")
+        assert a.args == (Variable("X"), Constant("abc"), Constant(3))
+
+    def test_predicate_must_be_lowercase(self):
+        with pytest.raises(ParseError):
+            parse("P(X) :- q(X).")
+
+    def test_missing_dot(self):
+        with pytest.raises(ParseError):
+            parse("p(X) :- q(X)")
+
+    def test_multiple_queries_rejected(self):
+        with pytest.raises(ParseError):
+            parse("?- p(X). ?- q(X).")
+
+    def test_error_carries_position(self):
+        try:
+            parse("p(X) :- \n q(X)")
+        except ParseError as e:
+            assert e.line == 2
+        else:  # pragma: no cover
+            pytest.fail("expected ParseError")
+
+    def test_parse_atom_roundtrip(self):
+        a = parse_atom("p(X, 1, foo)")
+        assert str(a) == "p(X, 1, foo)"
+
+    def test_parse_rule_rejects_programs(self):
+        with pytest.raises(ParseError):
+            parse_rule("p(X) :- q(X). r(X) :- s(X).")
+
+    def test_adorned_predicate_names(self):
+        p = parse("a@nd(X) :- p(X, Y). ?- a@nd(X).")
+        assert p.rules[0].head.predicate == "a@nd"
+
+    def test_split_facts(self):
+        p = parse("edge(1, 2). tc(X, Y) :- edge(X, Y).")
+        prog, facts = split_facts(p)
+        assert len(prog.rules) == 1
+        assert facts == [atom("edge", 1, 2)]
+
+    def test_roundtrip_pretty_print(self):
+        src = "tc(X, Y) :- edge(X, Z), tc(Z, Y)."
+        assert str(parse(src).rules[0]) == src

@@ -1,0 +1,87 @@
+"""Unit tests for repro.datalog.terms."""
+
+import pytest
+
+from repro.datalog.terms import (
+    Constant,
+    FreshVariables,
+    Variable,
+    fresh_variable,
+    term,
+)
+
+
+class TestVariable:
+    def test_equality_by_name(self):
+        assert Variable("X") == Variable("X")
+        assert Variable("X") != Variable("Y")
+
+    def test_hashable(self):
+        assert len({Variable("X"), Variable("X"), Variable("Y")}) == 2
+
+    def test_str(self):
+        assert str(Variable("Abc")) == "Abc"
+
+    def test_immutable(self):
+        with pytest.raises(Exception):
+            Variable("X").name = "Y"
+
+
+class TestConstant:
+    def test_equality_by_value(self):
+        assert Constant(1) == Constant(1)
+        assert Constant(1) != Constant(2)
+
+    def test_int_and_str_distinct(self):
+        assert Constant(1) != Constant("1")
+
+    def test_str(self):
+        assert str(Constant("abc")) == "abc"
+        assert str(Constant(7)) == "7"
+
+    def test_hashable(self):
+        assert len({Constant(1), Constant(1), Constant("a")}) == 2
+
+
+class TestTermConstructor:
+    def test_uppercase_is_variable(self):
+        assert term("X") == Variable("X")
+        assert term("Foo") == Variable("Foo")
+
+    def test_underscore_is_variable(self):
+        assert term("_z") == Variable("_z")
+
+    def test_lowercase_is_constant(self):
+        assert term("abc") == Constant("abc")
+
+    def test_int_is_constant(self):
+        assert term(3) == Constant(3)
+
+    def test_passthrough(self):
+        v = Variable("X")
+        c = Constant(1)
+        assert term(v) is v
+        assert term(c) is c
+
+
+class TestFreshVariables:
+    def test_global_fresh_distinct(self):
+        assert fresh_variable() != fresh_variable()
+
+    def test_deterministic_sequence(self):
+        supply = FreshVariables()
+        assert supply.take() == Variable("_E1")
+        assert supply.take() == Variable("_E2")
+
+    def test_avoids_collisions(self):
+        supply = FreshVariables(avoid=[Variable("_E1")])
+        assert supply.take() == Variable("_E2")
+
+    def test_custom_prefix(self):
+        supply = FreshVariables(prefix="_B")
+        assert supply.take() == Variable("_B1")
+
+    def test_self_avoidance(self):
+        supply = FreshVariables()
+        names = {supply.take().name for _ in range(50)}
+        assert len(names) == 50

@@ -1,0 +1,96 @@
+"""Tests for derivation trees (section 1.1)."""
+
+import pytest
+
+from repro.datalog import Database, parse
+from repro.engine import EngineOptions, evaluate
+from repro.engine.provenance import DerivationTree, derivation_tree
+from repro.workloads.graphs import chain
+
+
+TC = parse(
+    """
+    tc(X, Y) :- edge(X, Y).
+    tc(X, Y) :- edge(X, Z), tc(Z, Y).
+    ?- tc(X, Y).
+    """
+)
+
+
+def eval_with_provenance(edges):
+    db = Database.from_dict({"edge": edges})
+    return evaluate(TC, db, EngineOptions(record_provenance=True))
+
+
+class TestDerivationTrees:
+    def test_base_fact_is_leaf_of_height_one(self):
+        result = eval_with_provenance(chain(3))
+        tree = result.derivation("edge", (0, 1))
+        assert tree.is_leaf
+        assert tree.height() == 1
+
+    def test_derived_fact_has_rule_label(self):
+        result = eval_with_provenance(chain(3))
+        tree = result.derivation("tc", (0, 1))
+        assert tree.rule_index == 0
+        assert [c.predicate for c in tree.children] == ["edge"]
+
+    def test_recursive_tree_structure(self):
+        result = eval_with_provenance(chain(4))
+        tree = result.derivation("tc", (0, 3))
+        # tc(0,3) via rule 1: edge(0,1), tc(1,3)
+        assert tree.rule_index == 1
+        preds = sorted(c.predicate for c in tree.children)
+        assert preds == ["edge", "tc"]
+
+    def test_height_grows_with_path_length(self):
+        result = eval_with_provenance(chain(6))
+        short = result.derivation("tc", (0, 1)).height()
+        long = result.derivation("tc", (0, 5)).height()
+        assert long > short
+
+    def test_leaves_are_base_facts(self):
+        result = eval_with_provenance(chain(5))
+        tree = result.derivation("tc", (0, 4))
+
+        def leaves(t):
+            if t.is_leaf:
+                yield t
+            for c in t.children:
+                yield from leaves(c)
+
+        assert all(leaf.predicate == "edge" for leaf in leaves(tree))
+
+    def test_facts_set(self):
+        result = eval_with_provenance(chain(3))
+        tree = result.derivation("tc", (0, 2))
+        assert ("tc", (0, 2)) in tree.facts()
+        assert any(p == "edge" for p, _ in tree.facts())
+
+    def test_size_counts_nodes(self):
+        t = DerivationTree("p", (1,), 0, (DerivationTree("q", (2,), None),))
+        assert t.size() == 2
+
+    def test_render_contains_facts_and_rules(self):
+        result = eval_with_provenance(chain(3))
+        text = result.derivation("tc", (0, 2)).render()
+        assert "tc(0, 2)" in text and "[rule" in text
+
+    def test_unknown_fact_raises(self):
+        result = eval_with_provenance(chain(3))
+        with pytest.raises(Exception):
+            result.derivation("tc", (99, 100))
+
+    def test_cyclic_provenance_detected(self):
+        from repro.engine.provenance import Justification
+
+        bad = {
+            ("p", (1,)): Justification(0, (("p", (1,)),)),
+        }
+        with pytest.raises(ValueError):
+            derivation_tree(bad, "p", (1,))
+
+    def test_provenance_not_recorded_by_default(self):
+        db = Database.from_dict({"edge": chain(3)})
+        result = evaluate(TC, db)
+        assert result.provenance == {}

@@ -1,0 +1,114 @@
+"""Detailed semi-naive behaviour: delta discipline, iteration counts,
+and work-counter invariants on structured inputs."""
+
+import pytest
+
+from repro.datalog import Database, parse
+from repro.engine import EngineOptions, evaluate
+from repro.workloads.graphs import chain, complete, cycle
+
+
+TC = parse(
+    """
+    tc(X, Y) :- edge(X, Y).
+    tc(X, Y) :- edge(X, Z), tc(Z, Y).
+    ?- tc(X, Y).
+    """
+)
+
+
+class TestIterationCounts:
+    def test_empty_input_one_iteration(self):
+        stats = evaluate(TC, Database()).stats
+        assert stats.iterations == 1
+
+    def test_non_recursive_constant_iterations(self):
+        program = parse("q(X) :- e(X, Y). ?- q(X).")
+        for n in (2, 20, 200):
+            db = Database.from_dict({"e": chain(n)})
+            stats = evaluate(program, db).stats
+            assert stats.iterations <= 3
+
+    def test_iterations_bounded_by_longest_path(self):
+        # semi-naive with immediate insertion converges in at most
+        # O(longest path) rounds; typically far fewer
+        db = Database.from_dict({"edge": chain(40)})
+        stats = evaluate(TC, db).stats
+        assert stats.iterations <= 41
+
+    def test_seminaive_no_fewer_facts_than_naive(self):
+        db = Database.from_dict({"edge": cycle(8)})
+        semi = evaluate(TC, db).stats
+        naive = evaluate(TC, db, EngineOptions(strategy="naive")).stats
+        assert semi.facts_derived == naive.facts_derived
+
+    def test_seminaive_fewer_duplicates_on_dense_input(self):
+        db = Database.from_dict({"edge": complete(6)})
+        semi = evaluate(TC, db).stats
+        naive = evaluate(TC, db, EngineOptions(strategy="naive")).stats
+        assert semi.duplicates <= naive.duplicates
+
+
+class TestWorkInvariants:
+    @pytest.mark.parametrize(
+        "edges", [chain(10), cycle(7), complete(5)], ids=["chain", "cycle", "dense"]
+    )
+    def test_firings_equals_facts_plus_duplicates(self, edges):
+        db = Database.from_dict({"edge": edges})
+        stats = evaluate(TC, db).stats
+        assert stats.rule_firings == stats.facts_derived + stats.duplicates
+
+    def test_fact_counts_match_relations(self):
+        db = Database.from_dict({"edge": chain(6)})
+        result = evaluate(TC, db)
+        assert result.stats.fact_counts["tc"] == len(result.facts("tc"))
+
+    def test_facts_derived_excludes_preexisting(self):
+        db = Database.from_dict({"edge": chain(3), "tc": [(0, 1)]})
+        stats = evaluate(TC, db).stats
+        # closure of a 3-node chain is {(0,1),(1,2),(0,2)}; (0,1) was an
+        # input fact, so only two facts are newly derived
+        assert stats.fact_counts["tc"] == 3
+        assert stats.facts_derived == 2
+
+
+class TestDeltaDiscipline:
+    def test_linear_rule_work_linear_on_chain(self):
+        """On a chain, right-linear TC derives each of the O(n²) facts
+        from exactly one (edge, delta) pair: firings == derivations
+        stays quadratic, not cubic."""
+        n = 20
+        db = Database.from_dict({"edge": chain(n)})
+        stats = evaluate(TC, db).stats
+        facts = n * (n - 1) // 2
+        assert stats.facts_derived == facts
+        # each fact derived at most twice (once per rule overlap)
+        assert stats.rule_firings <= 2 * facts + n
+
+    def test_no_rescan_after_fixpoint(self):
+        db = Database.from_dict({"edge": chain(10)})
+        first = evaluate(TC, db)
+        again = evaluate(TC, first.db)
+        assert again.stats.facts_derived == 0
+        # one verification round over initial-facts deltas, then done
+        assert again.stats.iterations <= 2
+
+    def test_delta_starts_each_rule_at_changed_literal(self):
+        # mutual recursion: deltas must flow across predicates
+        program = parse(
+            """
+            a(X) :- seed(X).
+            b(Y) :- a(X), ab(X, Y).
+            a(Y) :- b(X), ba(X, Y).
+            ?- a(X).
+            """
+        )
+        db = Database.from_dict(
+            {
+                "seed": [(0,)],
+                "ab": [(i, i + 1) for i in range(0, 20, 2)],
+                "ba": [(i, i + 1) for i in range(1, 20, 2)],
+            }
+        )
+        result = evaluate(program, db)
+        assert result.answers() == {(i,) for i in range(0, 21, 2)}

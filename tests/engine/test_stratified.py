@@ -1,0 +1,140 @@
+"""Tests for stratified-negation evaluation semantics."""
+
+import pytest
+
+from repro.datalog import Database, ValidationError, parse
+from repro.engine import EngineOptions, evaluate
+from repro.workloads.graphs import chain, random_digraph
+
+
+REACH = parse(
+    """
+    reach(X) :- start(X).
+    reach(Y) :- reach(X), edge(X, Y).
+    unreachable(X) :- node(X), not reach(X).
+    ?- unreachable(X).
+    """
+)
+
+
+def reach_db(edges, start, nodes):
+    return Database.from_dict(
+        {"start": [(start,)], "edge": edges, "node": [(n,) for n in nodes]}
+    )
+
+
+class TestStratifiedSemantics:
+    def test_unreachable_complement(self):
+        db = reach_db([(0, 1), (1, 2), (5, 6)], 0, range(7))
+        result = evaluate(REACH, db)
+        assert result.answers() == {(3,), (4,), (5,), (6,)}
+
+    def test_matches_set_complement_reference(self):
+        edges = random_digraph(15, 25, seed=4)
+        db = reach_db(edges, 0, range(15))
+        result = evaluate(REACH, db)
+        # independent reference
+        reach = {0}
+        changed = True
+        while changed:
+            changed = False
+            for a, b in edges:
+                if a in reach and b not in reach:
+                    reach.add(b)
+                    changed = True
+        assert result.answers() == {(n,) for n in range(15) if n not in reach}
+
+    def test_naive_strategy_agrees(self):
+        db = reach_db(chain(8), 2, range(8))
+        semi = evaluate(REACH, db).answers()
+        naive = evaluate(REACH, db, EngineOptions(strategy="naive")).answers()
+        assert semi == naive
+
+    def test_three_strata(self):
+        program = parse(
+            """
+            a(X) :- flag(X).
+            b(X) :- base(X), not a(X).
+            c(X) :- base(X), not b(X).
+            ?- c(X).
+            """
+        )
+        db = Database.from_dict({"flag": [(1,)], "base": [(1,), (2,)]})
+        # a = {1}; b = base - a = {2}; c = base - b = {1}
+        assert evaluate(program, db).answers() == {(1,)}
+
+    def test_negation_of_edb(self):
+        program = parse(
+            """
+            missing(X) :- candidates(X), not present(X).
+            ?- missing(X).
+            """
+        )
+        db = Database.from_dict(
+            {"candidates": [(1,), (2,), (3,)], "present": [(2,)]}
+        )
+        assert evaluate(program, db).answers() == {(1,), (3,)}
+
+    def test_negation_of_absent_relation(self):
+        program = parse(
+            """
+            all(X) :- candidates(X), not ghost(X).
+            ?- all(X).
+            """
+        )
+        db = Database.from_dict({"candidates": [(1,)]})
+        assert evaluate(program, db).answers() == {(1,)}
+
+    def test_non_stratified_rejected(self):
+        program = parse(
+            """
+            win(X) :- move(X, Y), not win(Y).
+            ?- win(X).
+            """
+        )
+        with pytest.raises(ValidationError):
+            evaluate(program, Database.from_dict({"move": [(1, 2)]}))
+
+    def test_ground_negation(self):
+        program = parse(
+            """
+            go(X) :- item(X), not blocked(1).
+            ?- go(X).
+            """
+        )
+        db1 = Database.from_dict({"item": [(5,)], "blocked": [(1,)]})
+        db2 = Database.from_dict({"item": [(5,)], "blocked": [(2,)]})
+        assert evaluate(program, db1).answers() == frozenset()
+        assert evaluate(program, db2).answers() == {(5,)}
+
+    def test_negation_within_recursive_stratum_over_lower(self):
+        # positive recursion in the top stratum, negating a lower one
+        program = parse(
+            """
+            bad(X) :- flag(X).
+            good(X) :- source(X), not bad(X).
+            good(Y) :- good(X), edge(X, Y), not bad(Y).
+            ?- good(X).
+            """
+        )
+        db = Database.from_dict(
+            {
+                "flag": [(2,)],
+                "source": [(0,)],
+                "edge": [(0, 1), (1, 2), (2, 3), (1, 4)],
+            }
+        )
+        # reach from 0 avoiding 2: {0, 1, 4} (3 is behind 2)
+        assert evaluate(program, db).answers() == {(0,), (1,), (4,)}
+
+    def test_provenance_through_negation(self):
+        db = reach_db([(0, 1)], 0, range(3))
+        result = evaluate(REACH, db, EngineOptions(record_provenance=True))
+        tree = result.derivation("unreachable", (2,))
+        # the justification records the positive body only
+        assert [c.predicate for c in tree.children] == ["node"]
+
+    def test_stats_count_negative_probes(self):
+        db = reach_db(chain(5), 0, range(5))
+        result = evaluate(REACH, db)
+        assert result.stats.join_probes > 0

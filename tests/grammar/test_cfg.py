@@ -1,0 +1,99 @@
+"""Tests for the chain-program ↔ CFG transformation (section 1.1)."""
+
+import pytest
+
+from repro.datalog import Database, TransformError, ValidationError, parse
+from repro.engine import evaluate
+from repro.grammar.cfg import Grammar, Production, grammar_to_program, program_to_grammar
+from repro.workloads.graphs import chain
+
+
+RIGHT_TC = parse(
+    """
+    a(X, Y) :- e(X, Z), a(Z, Y).
+    a(X, Y) :- e(X, Y).
+    ?- a(X, Y).
+    """
+)
+
+
+class TestProduction:
+    def test_no_epsilon(self):
+        with pytest.raises(ValidationError):
+            Production("a", ())
+
+    def test_str(self):
+        assert str(Production("a", ("e", "a"))) == "a -> e a"
+
+
+class TestGrammar:
+    def test_nonterminals_and_terminals(self):
+        g = program_to_grammar(RIGHT_TC)
+        assert g.nonterminals == {"a"}
+        assert g.terminals == {"e"}
+        assert g.start == "a"
+
+    def test_productions_for(self):
+        g = program_to_grammar(RIGHT_TC)
+        assert len(g.productions_for("a")) == 2
+        assert g.productions_for("zzz") == ()
+
+    def test_with_start(self):
+        g = program_to_grammar(RIGHT_TC).with_start("e")
+        assert g.start == "e"
+
+
+class TestProgramToGrammar:
+    def test_tc_productions(self):
+        g = program_to_grammar(RIGHT_TC)
+        assert set(map(str, g.productions)) == {"a -> e a", "a -> e"}
+
+    def test_rejects_non_chain(self):
+        p = parse("a(X) :- e(X, Y). ?- a(X).")
+        with pytest.raises(TransformError):
+            program_to_grammar(p)
+
+    def test_explicit_start(self):
+        g = program_to_grammar(RIGHT_TC, start="e")
+        assert g.start == "e"
+
+    def test_requires_query_for_default_start(self):
+        with pytest.raises(TransformError):
+            program_to_grammar(RIGHT_TC.with_query(None))
+
+    def test_multi_symbol_chain(self):
+        p = parse(
+            """
+            s(X, Y) :- a(X, Z1), s(Z1, Z2), b(Z2, Y).
+            s(X, Y) :- a(X, Z), b(Z, Y).
+            ?- s(X, Y).
+            """
+        )
+        g = program_to_grammar(p)
+        assert set(map(str, g.productions)) == {"s -> a s b", "s -> a b"}
+
+
+class TestGrammarToProgram:
+    def test_roundtrip(self):
+        g = program_to_grammar(RIGHT_TC)
+        p = grammar_to_program(g)
+        assert program_to_grammar(p).productions == g.productions
+
+    def test_roundtrip_is_chain_program(self):
+        from repro.datalog.analysis import is_chain_program
+
+        g = program_to_grammar(RIGHT_TC)
+        assert is_chain_program(grammar_to_program(g))
+
+    def test_semantic_correspondence_on_paths(self):
+        # a word w ∈ L(G) labels a path x→y iff the program derives a(x,y)
+        g = program_to_grammar(RIGHT_TC)
+        p = grammar_to_program(g)
+        db = Database.from_dict({"e": chain(5)})
+        facts = evaluate(p, db).facts("a")
+        assert (0, 4) in facts and (4, 0) not in facts
+
+    def test_query_args(self):
+        g = program_to_grammar(RIGHT_TC)
+        p = grammar_to_program(g, query_args=(1, "Y"))
+        assert str(p.query) == "a(1, Y)"

@@ -1,0 +1,108 @@
+"""Tests for bounded L(G) / L^ex(G) enumeration."""
+
+import pytest
+
+from repro.grammar.cfg import Grammar, Production
+from repro.grammar.language import (
+    extended_language,
+    is_empty,
+    language,
+    productive_nonterminals,
+    reachable_nonterminals,
+    shortest_word,
+)
+
+
+def grammar(*prods, start):
+    productions = tuple(
+        Production(lhs, tuple(rhs.split())) for lhs, rhs in prods
+    )
+    return Grammar(productions, start)
+
+
+TC = grammar(("a", "e a"), ("a", "e"), start="a")
+ANBN = grammar(("s", "x s y"), ("s", "x y"), start="s")
+
+
+class TestProductivity:
+    def test_tc_productive(self):
+        assert productive_nonterminals(TC) == {"a"}
+
+    def test_no_exit_unproductive(self):
+        g = grammar(("a", "e a"), start="a")
+        assert productive_nonterminals(g) == frozenset()
+
+    def test_mutual_productivity(self):
+        g = grammar(("a", "x b"), ("b", "y a"), ("b", "y"), start="a")
+        assert productive_nonterminals(g) == {"a", "b"}
+
+
+class TestReachability:
+    def test_from_start(self):
+        g = grammar(("a", "x b"), ("b", "y"), ("c", "z"), start="a")
+        assert reachable_nonterminals(g) == {"a", "b"}
+
+
+class TestEmptiness:
+    def test_nonempty(self):
+        assert not is_empty(TC)
+
+    def test_empty_no_exit(self):
+        assert is_empty(grammar(("a", "e a"), start="a"))
+
+
+class TestLanguage:
+    def test_tc_prefixes(self):
+        assert language(TC, 3) == {("e",), ("e", "e"), ("e", "e", "e")}
+
+    def test_anbn(self):
+        words = language(ANBN, 6)
+        assert words == {
+            ("x", "y"),
+            ("x", "x", "y", "y"),
+            ("x", "x", "x", "y", "y", "y"),
+        }
+
+    def test_zero_bound(self):
+        assert language(TC, 0) == frozenset()
+
+    def test_terminal_start(self):
+        assert language(TC.with_start("e"), 2) == {("e",)}
+
+    def test_cap(self):
+        g = grammar(("a", "x a"), ("a", "y a"), ("a", "x"), start="a")
+        with pytest.raises(MemoryError):
+            language(g, 40, max_strings=100)
+
+
+class TestExtendedLanguage:
+    def test_includes_nonterminal_forms(self):
+        forms = extended_language(TC, 2)
+        assert ("a",) in forms
+        assert ("e", "a") in forms
+        assert ("e", "e") in forms
+
+    def test_distinguishes_left_right_linear(self):
+        # same L but different L^ex: the paper's uniform-equivalence
+        # separation between left- and right-linear TC (Example 5)
+        left = grammar(("a", "a e"), ("a", "e"), start="a")
+        right = grammar(("a", "e a"), ("a", "e"), start="a")
+        assert language(left, 4) == language(right, 4)
+        assert extended_language(left, 4) != extended_language(right, 4)
+
+    def test_extended_superset_of_language(self):
+        assert language(TC, 4) <= extended_language(TC, 4)
+
+
+class TestShortestWord:
+    def test_tc(self):
+        assert shortest_word(TC) == ("e",)
+
+    def test_anbn(self):
+        assert shortest_word(ANBN) == ("x", "y")
+
+    def test_empty(self):
+        assert shortest_word(grammar(("a", "e a"), start="a")) is None
+
+    def test_terminal_start(self):
+        assert shortest_word(TC.with_start("e")) == ("e",)

@@ -1,0 +1,158 @@
+"""Tests for Theorem 3.3 machinery: self-embedding, NFAs, and the
+monadic-program construction."""
+
+import pytest
+
+from repro.datalog import Database, TransformError, parse
+from repro.engine import evaluate
+from repro.grammar.cfg import Grammar, Production, program_to_grammar
+from repro.grammar.language import language
+from repro.grammar.regular import (
+    is_left_linear,
+    is_right_linear,
+    is_self_embedding,
+    monadic_program_for,
+    nfa_accepts,
+    nfa_to_monadic_program,
+    right_linear_to_nfa,
+)
+from repro.workloads.graphs import chain, random_digraph
+
+
+def grammar(*prods, start):
+    return Grammar(
+        tuple(Production(lhs, tuple(rhs.split())) for lhs, rhs in prods), start
+    )
+
+
+TC = grammar(("a", "e a"), ("a", "e"), start="a")
+ANBN = grammar(("s", "x s y"), ("s", "x y"), start="s")
+
+
+class TestSelfEmbedding:
+    def test_right_linear_not_self_embedding(self):
+        assert not is_self_embedding(TC)
+
+    def test_anbn_self_embedding(self):
+        assert is_self_embedding(ANBN)
+
+    def test_indirect_self_embedding(self):
+        g = grammar(("a", "x b"), ("b", "a y"), ("b", "z"), start="a")
+        # a => x b => x a y : self-embedding via b
+        assert is_self_embedding(g)
+
+    def test_center_recursion_without_context_not_embedding(self):
+        g = grammar(("a", "x a"), ("a", "a y"), ("a", "z"), start="a")
+        # left AND right recursion on the same nonterminal IS
+        # self-embedding (a => x a => x a y)
+        assert is_self_embedding(g)
+
+    def test_pure_left_recursion(self):
+        g = grammar(("a", "a x"), ("a", "x"), start="a")
+        assert not is_self_embedding(g)
+
+
+class TestLinearity:
+    def test_right_linear(self):
+        assert is_right_linear(TC)
+        assert not is_right_linear(ANBN)
+
+    def test_left_linear(self):
+        g = grammar(("a", "a e"), ("a", "e"), start="a")
+        assert is_left_linear(g)
+        assert not is_right_linear(g)
+
+    def test_terminal_only(self):
+        g = grammar(("a", "x y"), start="a")
+        assert is_right_linear(g) and is_left_linear(g)
+
+
+class TestNFA:
+    def test_tc_nfa_accepts_e_plus(self):
+        nfa = right_linear_to_nfa(TC)
+        assert nfa_accepts(nfa, ["e"])
+        assert nfa_accepts(nfa, ["e"] * 5)
+        assert not nfa_accepts(nfa, [])
+        assert not nfa_accepts(nfa, ["f"])
+
+    def test_multi_terminal_production(self):
+        g = grammar(("a", "x y a"), ("a", "z"), start="a")
+        nfa = right_linear_to_nfa(g)
+        assert nfa_accepts(nfa, ["z"])
+        assert nfa_accepts(nfa, ["x", "y", "z"])
+        assert nfa_accepts(nfa, ["x", "y", "x", "y", "z"])
+        assert not nfa_accepts(nfa, ["x", "z"])
+
+    def test_unit_productions_resolved(self):
+        g = grammar(("a", "b"), ("b", "x b"), ("b", "x"), start="a")
+        nfa = right_linear_to_nfa(g)
+        assert nfa_accepts(nfa, ["x"])
+        assert nfa_accepts(nfa, ["x", "x"])
+
+    def test_rejects_non_right_linear(self):
+        with pytest.raises(TransformError):
+            right_linear_to_nfa(ANBN)
+
+    def test_agreement_with_bounded_language(self):
+        g = grammar(("a", "x b"), ("b", "y b"), ("b", "y"), ("a", "z a"), ("a", "z"), start="a")
+        nfa = right_linear_to_nfa(g)
+        words = language(g, 5)
+        # every enumerated word is accepted
+        assert all(nfa_accepts(nfa, w) for w in words)
+        # and a non-member is rejected
+        assert not nfa_accepts(nfa, ("y", "x"))
+
+
+class TestMonadicProgram:
+    def tc_program(self):
+        return parse(
+            """
+            a(X, Y) :- e(X, Z), a(Z, Y).
+            a(X, Y) :- e(X, Y).
+            ?- a(X, Y).
+            """
+        )
+
+    def test_construction_matches_projection(self):
+        program = self.tc_program()
+        monadic = monadic_program_for(program)
+        assert monadic is not None
+        arities = monadic.arities()
+        assert all(
+            arities[p] == 1 for p in monadic.idb_predicates()
+        )  # monadic indeed
+        for seed in range(3):
+            db = Database.from_dict({"e": random_digraph(12, 25, seed=seed)})
+            reference = {t[0] for t in evaluate(program, db).answers()}
+            got = {t[0] for t in evaluate(monadic, db).answers()}
+            assert reference == got
+
+    def test_chain_graph(self):
+        program = self.tc_program()
+        monadic = monadic_program_for(program)
+        db = Database.from_dict({"e": chain(10)})
+        assert {t[0] for t in evaluate(monadic, db).answers()} == set(range(9))
+
+    def test_non_right_linear_returns_none(self):
+        program = parse(
+            """
+            s(X, Y) :- x(X, Z1), s(Z1, Z2), y(Z2, Y).
+            s(X, Y) :- x(X, Z), y(Z, Y).
+            ?- s(X, Y).
+            """
+        )
+        assert monadic_program_for(program) is None
+
+    def test_multi_nonterminal_language(self):
+        program = parse(
+            """
+            a(X, Y) :- u(X, Z), b(Z, Y).
+            b(X, Y) :- v(X, Z), b(Z, Y).
+            b(X, Y) :- v(X, Y).
+            ?- a(X, Y).
+            """
+        )
+        monadic = monadic_program_for(program)
+        assert monadic is not None
+        db = Database.from_dict({"u": [(0, 1)], "v": [(1, 2), (2, 3)]})
+        assert {t[0] for t in evaluate(monadic, db).answers()} == {0}

@@ -1,0 +1,130 @@
+"""Robustness properties of the optimizer and engine: order
+independence, idempotence, and degenerate-input behaviour."""
+
+import pytest
+
+from repro.datalog import Database, Program, parse
+from repro.engine import evaluate
+from repro.core import delete_rules, optimize, push_projections, adorn
+from repro.workloads.edb import random_edb
+from repro.workloads.paper_examples import (
+    adorned_from_text,
+    example5_adorned_text,
+    example7_adorned,
+)
+
+
+class TestOrderIndependence:
+    """Deletion picks rules in index order; the *semantics* of the
+    result must not depend on the input rule order."""
+
+    @pytest.mark.parametrize("rotation", [1, 2, 3])
+    def test_example7_rotations(self, rotation):
+        base = example7_adorned()
+        rotated = base.with_rules(
+            base.rules[rotation:] + base.rules[:rotation]
+        )
+        r1 = delete_rules(base, use_sagiv=False, use_chase=False)
+        r2 = delete_rules(rotated, use_sagiv=False, use_chase=False)
+        p1, p2 = r1.program.to_program(), r2.program.to_program()
+        for seed in range(3):
+            db = random_edb(p1, rows=15, domain=7, seed=seed)
+            assert evaluate(p1, db).answers() == evaluate(p2, db).answers()
+
+    @pytest.mark.parametrize("rotation", [1, 2, 3])
+    def test_example6_rotations(self, rotation):
+        base = adorned_from_text(example5_adorned_text())
+        rotated = base.with_rules(base.rules[rotation:] + base.rules[:rotation])
+        r1 = delete_rules(base)
+        r2 = delete_rules(rotated)
+        p1, p2 = r1.program.to_program(), r2.program.to_program()
+        for seed in range(3):
+            db = random_edb(p1, rows=15, domain=7, seed=seed)
+            assert evaluate(p1, db).answers() == evaluate(p2, db).answers()
+
+
+class TestIdempotence:
+    def test_delete_rules_fixpoint(self):
+        program = adorned_from_text(example5_adorned_text())
+        once = delete_rules(program)
+        twice = delete_rules(once.program)
+        assert twice.deleted == ()
+        assert str(twice.program) == str(once.program)
+
+    def test_reoptimizing_optimized_program_is_safe(self):
+        original = parse(
+            """
+            query(X) :- a(X, Y).
+            a(X, Y) :- p(X, Z), a(Z, Y).
+            a(X, Y) :- p(X, Y).
+            ?- query(X).
+            """
+        )
+        first = optimize(original)
+        second = optimize(first.program)
+        for seed in range(3):
+            db = random_edb(original, rows=20, domain=8, seed=seed)
+            assert second.answers(db) == first.answers(db)
+
+
+class TestDegenerateInputs:
+    def test_single_exit_rule_program(self):
+        result = optimize(parse("q(X) :- e(X, Y). ?- q(X)."))
+        db = Database.from_dict({"e": [(1, 2)]})
+        assert result.answers(db) == {(1,)}
+
+    def test_query_over_constant_only(self):
+        result = optimize(parse("q(X) :- e(X). ?- q(1)."))
+        db = Database.from_dict({"e": [(1,), (2,)]})
+        assert result.answers(db) == result.reference_answers(db)
+
+    def test_all_existential_query(self):
+        # "is there anything at all?" — every argument anonymous
+        result = optimize(parse("q(X, Y) :- e(X, Y). ?- q(_, _)."))
+        db = Database.from_dict({"e": [(1, 2)]})
+        assert result.answers(db) == {()}
+        empty = Database()
+        assert result.answers(empty) == frozenset()
+
+    def test_arity_zero_query(self):
+        result = optimize(parse("some :- e(X, Y). ?- some."))
+        db = Database.from_dict({"e": [(1, 2)]})
+        assert result.answers(db) == {()}
+
+    def test_builtin_only_body(self):
+        program = parse("truth(1) :- lt(1, 2). ?- truth(X).")
+        assert evaluate(program, Database()).answers() == {(1,)}
+        program_false = parse("truth(1) :- lt(2, 1). ?- truth(X).")
+        assert evaluate(program_false, Database()).answers() == frozenset()
+
+    def test_duplicate_rules_collapse(self):
+        result = optimize(
+            parse(
+                """
+                q(X) :- e(X, Y).
+                q(X) :- e(X, Y).
+                ?- q(X).
+                """
+            )
+        )
+        assert len(result.program) == 1
+
+    def test_self_loop_rule_removed(self):
+        result = optimize(
+            parse(
+                """
+                q(X) :- q(X).
+                q(X) :- e(X).
+                ?- q(X).
+                """
+            )
+        )
+        db = Database.from_dict({"e": [(1,)]})
+        assert result.answers(db) == {(1,)}
+        assert len(result.program) == 1
+
+    def test_empty_program_with_query_rejected(self):
+        from repro.datalog import TransformError
+
+        with pytest.raises(TransformError):
+            optimize(Program((), parse("?- q(X). x(Y) :- z(Y).").query))

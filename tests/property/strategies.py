@@ -1,0 +1,79 @@
+"""Hypothesis strategies shared by the property-based tests."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.datalog import Database
+from repro.grammar.cfg import Grammar, Production
+
+NONTERMINALS = ["s", "t"]
+TERMINALS = ["e", "f"]
+
+
+@st.composite
+def edge_sets(draw, max_nodes=8, max_edges=16):
+    """A random set of directed edges over a small node domain."""
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    edges = draw(
+        st.sets(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            max_size=max_edges,
+        )
+    )
+    return edges
+
+
+@st.composite
+def labelled_graphs(draw, labels=TERMINALS, max_nodes=6, max_edges_per_label=8):
+    """A database with one binary relation per terminal label."""
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    db = Database()
+    for label in labels:
+        rel = db.ensure(label, 2)
+        edges = draw(
+            st.sets(
+                st.tuples(
+                    st.integers(min_value=0, max_value=n - 1),
+                    st.integers(min_value=0, max_value=n - 1),
+                ),
+                max_size=max_edges_per_label,
+            )
+        )
+        rel.update(edges)
+    return db
+
+
+@st.composite
+def chain_grammars(draw, max_productions=5, max_rhs=3):
+    """A random ε-free chain-program grammar over s/t and e/f."""
+    symbols = NONTERMINALS + TERMINALS
+    count = draw(st.integers(min_value=1, max_value=max_productions))
+    productions = []
+    for _ in range(count):
+        lhs = draw(st.sampled_from(NONTERMINALS))
+        rhs_len = draw(st.integers(min_value=1, max_value=max_rhs))
+        rhs = tuple(draw(st.sampled_from(symbols)) for _ in range(rhs_len))
+        productions.append(Production(lhs, rhs))
+    # deduplicate, keep order
+    productions = tuple(dict.fromkeys(productions))
+    return Grammar(productions, start="s")
+
+
+@st.composite
+def right_linear_grammars(draw, max_productions=5, max_terminals=2):
+    """A random right-linear grammar over s/t and e/f."""
+    count = draw(st.integers(min_value=1, max_value=max_productions))
+    productions = []
+    for _ in range(count):
+        lhs = draw(st.sampled_from(NONTERMINALS))
+        k = draw(st.integers(min_value=1, max_value=max_terminals))
+        terminals = tuple(draw(st.sampled_from(TERMINALS)) for _ in range(k))
+        tail = draw(st.sampled_from(NONTERMINALS + [""]))
+        rhs = terminals + ((tail,) if tail else ())
+        productions.append(Production(lhs, rhs))
+    productions = tuple(dict.fromkeys(productions))
+    return Grammar(productions, start="s")

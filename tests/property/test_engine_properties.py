@@ -1,0 +1,142 @@
+"""Property-based tests for the evaluation engine (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datalog import Database, parse
+from repro.engine import EngineOptions, evaluate
+
+from .strategies import edge_sets, labelled_graphs
+
+TC = parse(
+    """
+    tc(X, Y) :- edge(X, Y).
+    tc(X, Y) :- edge(X, Z), tc(Z, Y).
+    ?- tc(X, Y).
+    """
+)
+
+SG = parse(
+    """
+    sg(X, Y) :- e(X, Z), e(Y, Z).
+    sg(X, Y) :- e(X, U), sg(U, V), e(Y, V).
+    ?- sg(X, Y).
+    """
+)
+
+
+def reference_closure(edges):
+    closure = set(edges)
+    changed = True
+    while changed:
+        changed = False
+        for (a, b) in list(closure):
+            for (c, d) in list(closure):
+                if b == c and (a, d) not in closure:
+                    closure.add((a, d))
+                    changed = True
+    return closure
+
+
+@given(edge_sets())
+@settings(max_examples=60, deadline=None)
+def test_tc_matches_independent_reference(edges):
+    db = Database()
+    db.ensure("edge", 2).update(edges)
+    assert evaluate(TC, db).facts("tc") == reference_closure(edges)
+
+
+@given(edge_sets())
+@settings(max_examples=40, deadline=None)
+def test_seminaive_equals_naive(edges):
+    db = Database()
+    db.ensure("edge", 2).update(edges)
+    semi = evaluate(TC, db).facts("tc")
+    naive = evaluate(TC, db, EngineOptions(strategy="naive")).facts("tc")
+    assert semi == naive
+
+
+@given(labelled_graphs())
+@settings(max_examples=40, deadline=None)
+def test_seminaive_equals_naive_same_generation(db):
+    db2 = db.copy()
+    semi = evaluate(SG, db).facts("sg")
+    naive = evaluate(SG, db2, EngineOptions(strategy="naive")).facts("sg")
+    assert semi == naive
+
+
+@given(edge_sets(), edge_sets(max_edges=4))
+@settings(max_examples=40, deadline=None)
+def test_monotonicity(edges, extra):
+    """Adding base facts never removes derived facts."""
+    db1 = Database()
+    db1.ensure("edge", 2).update(edges)
+    db2 = Database()
+    db2.ensure("edge", 2).update(edges | extra)
+    assert evaluate(TC, db1).facts("tc") <= evaluate(TC, db2).facts("tc")
+
+
+@given(edge_sets())
+@settings(max_examples=40, deadline=None)
+def test_fixpoint_idempotence(edges):
+    """Re-evaluating over the fixpoint derives nothing new."""
+    db = Database()
+    db.ensure("edge", 2).update(edges)
+    first = evaluate(TC, db)
+    again = evaluate(TC, first.db)
+    assert again.facts("tc") == first.facts("tc")
+    assert again.stats.facts_derived == 0
+
+
+@given(edge_sets())
+@settings(max_examples=40, deadline=None)
+def test_provenance_trees_ground_out(edges):
+    """Every derived fact has a derivation tree whose leaves are base
+    facts present in the input (paper section 1.1)."""
+    db = Database()
+    db.ensure("edge", 2).update(edges)
+    result = evaluate(TC, db, EngineOptions(record_provenance=True))
+    for row in result.facts("tc"):
+        tree = result.derivation("tc", row)
+
+        def check(t):
+            if t.is_leaf:
+                assert t.predicate == "edge" and t.row in edges
+            else:
+                for c in t.children:
+                    check(c)
+
+        check(tree)
+
+
+@given(edge_sets())
+@settings(max_examples=30, deadline=None)
+def test_answers_subset_of_facts(edges):
+    db = Database()
+    db.ensure("edge", 2).update(edges)
+    result = evaluate(TC, db)
+    assert result.answers() <= result.facts("tc")
+
+
+@given(edge_sets())
+@settings(max_examples=40, deadline=None)
+def test_topdown_agrees_with_bottom_up(edges):
+    """The tabled top-down evaluator is a third independent oracle."""
+    from repro.engine.topdown import evaluate_topdown
+
+    db = Database()
+    db.ensure("edge", 2).update(edges)
+    assert evaluate_topdown(TC, db).answers == evaluate(TC, db).answers()
+
+
+@given(edge_sets(), st.integers(min_value=0, max_value=7))
+@settings(max_examples=40, deadline=None)
+def test_topdown_bound_query_agrees(edges, source):
+    from repro.datalog import Atom, Constant, Variable
+    from repro.engine.topdown import evaluate_topdown
+
+    db = Database()
+    db.ensure("edge", 2).update(edges)
+    program = TC.with_query(Atom("tc", (Constant(source), Variable("Y"))))
+    td = evaluate_topdown(program, db)
+    assert td.answers == evaluate(program, db).answers()

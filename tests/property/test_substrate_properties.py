@@ -1,0 +1,158 @@
+"""Property-based tests for the substrate: parser round-trips, relation
+index coherence, and database algebra."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datalog import Database, Relation, parse, parse_rule
+from repro.datalog.ast import Atom, Program, Rule
+from repro.datalog.terms import Constant, Variable
+
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+
+predicate_names = st.sampled_from(["p", "q", "r", "edge", "a1", "b_c"])
+variable_names = st.sampled_from(["X", "Y", "Z", "W", "Count"])
+constant_values = st.one_of(
+    st.integers(min_value=-5, max_value=99),
+    st.sampled_from(["abc", "foo", "v1"]),
+)
+
+
+@st.composite
+def terms(draw):
+    if draw(st.booleans()):
+        return Variable(draw(variable_names))
+    return Constant(draw(constant_values))
+
+
+@st.composite
+def atoms(draw, max_arity=3):
+    name = draw(predicate_names)
+    arity = draw(st.integers(min_value=0, max_value=max_arity))
+    return Atom(name, tuple(draw(terms()) for _ in range(arity)))
+
+
+@st.composite
+def safe_rules(draw):
+    """A random safe rule: head variables drawn from the body."""
+    body = tuple(draw(atoms()) for _ in range(draw(st.integers(1, 3))))
+    body_vars = [v for a in body for v in a.variables()]
+    head_arity = draw(st.integers(0, 2))
+    if body_vars:
+        head_args = tuple(
+            draw(st.sampled_from(body_vars))
+            if draw(st.booleans())
+            else Constant(draw(constant_values))
+            for _ in range(head_arity)
+        )
+    else:
+        head_args = tuple(
+            Constant(draw(constant_values)) for _ in range(head_arity)
+        )
+    return Rule(Atom("h", head_args), body)
+
+
+@st.composite
+def rows(draw, arity):
+    return tuple(
+        draw(st.integers(min_value=0, max_value=9)) for _ in range(arity)
+    )
+
+
+# ---------------------------------------------------------------------------
+# parser round-trips
+# ---------------------------------------------------------------------------
+
+@given(safe_rules())
+@settings(max_examples=100, deadline=None)
+def test_rule_pretty_print_parses_back(rule):
+    """str -> parse -> str is the identity on safe rules."""
+    printed = str(rule)
+    reparsed = parse_rule(printed)
+    assert str(reparsed) == printed
+
+
+@given(st.lists(safe_rules(), min_size=1, max_size=5))
+@settings(max_examples=50, deadline=None)
+def test_program_roundtrip(rules):
+    program = Program(tuple(rules))
+    reparsed = parse(str(program))
+    assert str(reparsed) == str(program)
+
+
+@given(atoms())
+@settings(max_examples=100, deadline=None)
+def test_atom_roundtrip(atom):
+    from repro.datalog import parse_atom
+
+    assert str(parse_atom(str(atom))) == str(atom)
+
+
+# ---------------------------------------------------------------------------
+# relation index coherence
+# ---------------------------------------------------------------------------
+
+@given(st.sets(st.tuples(st.integers(0, 5), st.integers(0, 5)), max_size=30))
+@settings(max_examples=60, deadline=None)
+def test_index_agrees_with_scan(data):
+    rel = Relation(2, data)
+    # build one index, then add more rows, then verify both indexes
+    rel.index_for((0,))
+    extra = {(i, (i * 3) % 5) for i in range(5)}
+    rel.update(extra)
+    everything = data | extra
+    for key in {row[0] for row in everything}:
+        assert set(rel.lookup((0,), (key,))) == {
+            row for row in everything if row[0] == key
+        }
+    for key in {row[1] for row in everything}:
+        assert set(rel.lookup((1,), (key,))) == {
+            row for row in everything if row[1] == key
+        }
+
+
+@given(st.sets(st.tuples(st.integers(0, 4), st.integers(0, 4)), max_size=20))
+@settings(max_examples=60, deadline=None)
+def test_relation_set_semantics(data):
+    rel = Relation(2)
+    added = sum(1 for row in list(data) * 2 if rel.add(row))
+    assert added == len(data)
+    assert rel.rows() == frozenset(data)
+
+
+# ---------------------------------------------------------------------------
+# database algebra
+# ---------------------------------------------------------------------------
+
+@given(
+    st.sets(st.tuples(st.integers(0, 4), st.integers(0, 4)), min_size=1, max_size=10),
+    st.sets(st.tuples(st.integers(0, 4), st.integers(0, 4)), min_size=1, max_size=10),
+)
+@settings(max_examples=60, deadline=None)
+def test_merge_is_union(a_rows, b_rows):
+    a = Database.from_dict({"p": a_rows})
+    b = Database.from_dict({"p": b_rows})
+    merged = a.merged_with(b)
+    assert merged.rows("p") == frozenset(a_rows) | frozenset(b_rows)
+    # operands untouched
+    assert a.rows("p") == frozenset(a_rows)
+
+
+@given(st.sets(st.tuples(st.integers(0, 4)), min_size=1, max_size=10))
+@settings(max_examples=40, deadline=None)
+def test_copy_isolation(rows_):
+    db = Database.from_dict({"p": rows_})
+    clone = db.copy()
+    clone.add("p", 99)
+    assert (99,) not in db.rows("p")
+    assert (99,) in clone.rows("p")
+
+
+@given(st.sets(st.tuples(st.integers(0, 4), st.integers(0, 4)), min_size=1, max_size=12))
+@settings(max_examples=40, deadline=None)
+def test_active_domain(rows_):
+    db = Database.from_dict({"p": rows_})
+    assert db.active_domain() == {v for row in rows_ for v in row}

@@ -1,0 +1,132 @@
+"""Algebraic properties of argument-projection summaries (section 5).
+
+The paper composes projections pairwise and takes summaries; the
+soundness of Algorithm 5.1 and of the chain construction in
+`query_rooted_summaries` rests on summarization being *lossless for
+end-to-end connectivity*: summarizing a prefix never changes which
+(left, right) node pairs the full composite connects.  These hypothesis
+tests check that on random projections — pairwise composition is
+associative and agrees with a direct connectivity computation over the
+whole composite.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.argument_projection import ArgumentProjection, identity_projection
+
+ARITY = 3
+
+
+@st.composite
+def projections(draw, left, right):
+    edges = draw(
+        st.frozensets(
+            st.tuples(
+                st.integers(min_value=0, max_value=ARITY - 1),
+                st.integers(min_value=0, max_value=ARITY - 1),
+            ),
+            max_size=6,
+        )
+    )
+    return ArgumentProjection(left, right, edges)
+
+
+def full_composite_summary(chain):
+    """Reference: connectivity over the whole composite graph, with all
+    middle literals' nodes merged at once."""
+    parent = {}
+
+    def find(x):
+        parent.setdefault(x, x)
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(x, y):
+        rx, ry = find(x), find(y)
+        if rx != ry:
+            parent[rx] = ry
+
+    for level, proj in enumerate(chain):
+        for i, j in proj.edges:
+            union((level, i), (level + 1, j))
+    n = len(chain)
+    left_nodes = {i for i, _ in chain[0].edges}
+    right_nodes = {k for _, k in chain[-1].edges}
+    edges = frozenset(
+        (i, k)
+        for i in left_nodes
+        for k in right_nodes
+        if find((0, i)) == find((n, k))
+    )
+    return ArgumentProjection(chain[0].left, chain[-1].right, edges)
+
+
+@given(projections("a", "b"), projections("b", "c"), projections("c", "d"))
+@settings(max_examples=200, deadline=None)
+def test_composition_associative(p, q, r):
+    left = p.compose(q).compose(r)
+    right = p.compose(q.compose(r))
+    assert left == right
+
+
+@given(projections("a", "b"), projections("b", "c"), projections("c", "d"))
+@settings(max_examples=200, deadline=None)
+def test_pairwise_equals_full_merge(p, q, r):
+    if not (p.edges and q.edges and r.edges):
+        return  # full_composite_summary needs non-empty ends to compare
+    assert p.compose(q).compose(r) == full_composite_summary([p, q, r])
+
+
+def _is_matching(p: ArgumentProjection) -> bool:
+    lefts = [i for i, _ in p.edges]
+    rights = [j for _, j in p.edges]
+    return len(set(lefts)) == len(lefts) and len(set(rights)) == len(rights)
+
+
+@given(projections("a", "b"))
+@settings(max_examples=100, deadline=None)
+def test_identity_neutral_on_matchings(p):
+    """Identity is neutral exactly when *p* has no converging edges.
+
+    With two edges sharing an endpoint, composing even with the
+    identity exposes the implied equality as a new zigzag edge — that
+    is the *correct* connectivity semantics (two body positions holding
+    the same variable force their counterparts equal), so neutrality is
+    only asserted for matching-shaped projections."""
+    left_id = identity_projection("a", ARITY)
+    right_id = identity_projection("b", ARITY)
+    if _is_matching(p):
+        assert left_id.compose(p) == p
+        assert p.compose(right_id) == p
+    else:
+        # composition may only add edges, never drop them
+        assert p.edges <= left_id.compose(p).edges
+        assert p.edges <= p.compose(right_id).edges
+
+
+def test_zigzag_edge_is_semantically_required():
+    """The concrete witness for the docstring above: edges (0,0) and
+    (1,0) force mid0 = mid1, so (1,1) must appear after composing with
+    the identity."""
+    p = ArgumentProjection("a", "b", frozenset({(0, 0), (1, 0), (0, 1)}))
+    composed = identity_projection("a", ARITY).compose(p)
+    assert (1, 1) in composed.edges
+
+
+@given(projections("a", "a"), projections("a", "a"))
+@settings(max_examples=100, deadline=None)
+def test_closure_of_self_compositions_finite(p, q):
+    """Algorithm 5.1 terminates: the closure over a 3-position predicate
+    stays within the finite summary space."""
+    from repro.core.argument_projection import summary_closure
+
+    closure = summary_closure([p, q])
+    assert len(closure) <= 2 ** (ARITY * ARITY) * 2
+    # closed under one more composition round
+    for a in closure:
+        for b in closure:
+            if a.right == b.left:
+                assert a.compose(b) in closure

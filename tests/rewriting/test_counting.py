@@ -1,0 +1,154 @@
+"""Tests for the Counting rewriting (restricted linear case)."""
+
+import pytest
+
+from repro.datalog import Database, TransformError, parse
+from repro.engine import evaluate
+from repro.rewriting.counting import (
+    counting,
+    counting_support,
+    evaluate_counting,
+)
+from repro.workloads.graphs import tree
+
+
+def same_generation(constant=0):
+    return parse(
+        f"""
+        sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).
+        sg(X, Y) :- flat(X, Y).
+        ?- sg({constant}, Y).
+        """
+    )
+
+
+def family(n=30, seed=3):
+    import random
+
+    rng = random.Random(seed)
+    up = tree(n, fanout=2)  # edges parent -> child; we need child -> parent
+    up = [(b, a) for a, b in up]
+    down = [(a, b) for b, a in up]
+    flat = [(rng.randrange(n), rng.randrange(n)) for _ in range(n)]
+    return Database.from_dict({"up": up, "down": down, "flat": flat})
+
+
+class TestRewriteShape:
+    def test_structure(self):
+        result = counting(same_generation())
+        heads = {r.head.predicate for r in result.program.rules}
+        assert heads == {"cnt_sg", "ans_sg", "count_query_sg"}
+        assert result.succ_predicate == "succ"
+        seed_rules = [r for r in result.program.rules if not r.body]
+        assert len(seed_rules) == 1
+        assert seed_rules[0].head.as_fact() == (0, 0)
+
+    def test_support_relation(self):
+        db = counting_support(3)
+        assert db.rows("succ") == {(0, 1), (1, 2), (2, 3)}
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("constant", [0, 1, 5])
+    def test_matches_original_on_trees(self, constant):
+        program = same_generation(constant)
+        db = family()
+        reference = evaluate(program, db).answers()
+        result = counting(program)
+        got = evaluate_counting(result, db).answers()
+        assert got == reference
+
+    def test_explicit_depth_bound(self):
+        program = same_generation(0)
+        db = family()
+        result = counting(program)
+        deep = evaluate_counting(result, db, max_depth=64).answers()
+        auto = evaluate_counting(result, db).answers()
+        assert deep == auto
+
+    def test_insufficient_depth_loses_answers_documented(self):
+        # the documented restriction: a too-small bound truncates levels
+        program = same_generation(0)
+        db = family()
+        result = counting(program)
+        full = evaluate_counting(result, db).answers()
+        truncated = evaluate_counting(result, db, max_depth=0).answers()
+        assert truncated <= full
+
+    def test_variable_collision_with_level_vars(self):
+        program = parse(
+            """
+            sg(I, J) :- up(I, U), sg(U, V), down(V, J).
+            sg(I, J) :- flat(I, J).
+            ?- sg(0, Y).
+            """
+        )
+        db = family()
+        reference = evaluate(program, db).answers()
+        assert evaluate_counting(counting(program), db).answers() == reference
+
+
+class TestRestrictions:
+    def test_requires_bound_first_argument(self):
+        with pytest.raises(TransformError):
+            counting(parse("sg(X, Y) :- flat(X, Y). ?- sg(X, Y)."))
+
+    def test_requires_query(self):
+        with pytest.raises(TransformError):
+            counting(same_generation().with_query(None))
+
+    def test_requires_single_recursive_rule(self):
+        program = parse(
+            """
+            sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).
+            sg(X, Y) :- left(X, U), sg(U, V), right(V, Y).
+            sg(X, Y) :- flat(X, Y).
+            ?- sg(0, Y).
+            """
+        )
+        with pytest.raises(TransformError):
+            counting(program)
+
+    def test_requires_exit_rule(self):
+        program = parse(
+            """
+            sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).
+            ?- sg(0, Y).
+            """
+        )
+        with pytest.raises(TransformError):
+            counting(program)
+
+    def test_rejects_nonlinear(self):
+        program = parse(
+            """
+            t(X, Y) :- t(X, Z), t(Z, Y).
+            t(X, Y) :- e(X, Y).
+            ?- t(0, Y).
+            """
+        )
+        with pytest.raises(TransformError):
+            counting(program)
+
+    def test_rejects_extra_predicates(self):
+        program = parse(
+            """
+            sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).
+            sg(X, Y) :- flat(X, Y).
+            other(X) :- w(X).
+            ?- sg(0, Y).
+            """
+        )
+        with pytest.raises(TransformError):
+            counting(program)
+
+    def test_rejects_wrong_chain_shape(self):
+        program = parse(
+            """
+            sg(X, Y) :- up(X, U), sg(U, V), down(Y, W).
+            sg(X, Y) :- flat(X, Y).
+            ?- sg(0, Y).
+            """
+        )
+        with pytest.raises(TransformError):
+            counting(program)

@@ -1,0 +1,158 @@
+"""Tests for the Magic Sets rewriting and its composition with the
+existential optimizer (the paper's orthogonality claim)."""
+
+import pytest
+
+from repro.datalog import Database, TransformError, parse
+from repro.engine import EngineOptions, evaluate
+from repro.core.pipeline import optimize
+from repro.rewriting.magic import bf_adornment, magic_sets
+from repro.workloads.graphs import chain, layered_dag, random_digraph
+
+
+TC_BOUND = parse(
+    """
+    tc(X, Y) :- edge(X, Y).
+    tc(X, Y) :- edge(X, Z), tc(Z, Y).
+    ?- tc(0, Y).
+    """
+)
+
+
+class TestBfAdornment:
+    def test_constants_bound(self):
+        from repro.datalog import atom
+
+        assert bf_adornment(atom("p", 1, "X"), frozenset()) == "bf"
+
+    def test_bound_variables(self):
+        from repro.datalog import atom
+        from repro.datalog.terms import Variable
+
+        assert bf_adornment(atom("p", "X", "Y"), frozenset({Variable("X")})) == "bf"
+
+
+class TestMagicSets:
+    def test_rewrite_shape(self):
+        result = magic_sets(TC_BOUND)
+        assert result.changed
+        preds = result.program.idb_predicates()
+        assert "magic_tc@bf" in preds
+        assert "tc@bf" in preds
+        assert result.query_predicate == "tc@bf"
+
+    def test_seed_fact(self):
+        result = magic_sets(TC_BOUND)
+        seeds = [r for r in result.program.rules if not r.body]
+        assert len(seeds) == 1
+        assert str(seeds[0]) == "magic_tc@bf(0)."
+
+    @pytest.mark.parametrize(
+        "edges",
+        [chain(30), random_digraph(25, 60, seed=4), layered_dag(5, 5, seed=2)],
+        ids=["chain", "random", "dag"],
+    )
+    def test_answers_preserved(self, edges):
+        db = Database.from_dict({"edge": edges})
+        original = evaluate(TC_BOUND, db).answers()
+        rewritten = evaluate(magic_sets(TC_BOUND).program, db).answers()
+        assert original == rewritten
+
+    def test_restricts_computation(self):
+        # query from the tail of a chain: magic computes O(1) facts
+        program = parse(
+            """
+            tc(X, Y) :- edge(X, Y).
+            tc(X, Y) :- edge(X, Z), tc(Z, Y).
+            ?- tc(28, Y).
+            """
+        )
+        db = Database.from_dict({"edge": chain(30)})
+        orig = evaluate(program, db).stats
+        magic = evaluate(magic_sets(program).program, db).stats
+        assert magic.facts_derived < orig.facts_derived / 5
+
+    def test_unbound_query_unchanged(self):
+        program = TC_BOUND.with_query(parse("?- tc(X, Y). x(X) :- y.").query)
+        result = magic_sets(program)
+        assert not result.changed
+        assert result.program is program
+
+    def test_requires_query(self):
+        with pytest.raises(TransformError):
+            magic_sets(TC_BOUND.with_query(None))
+
+    def test_requires_derived_query(self):
+        program = parse("tc(X, Y) :- edge(X, Y). ?- edge(1, Y).")
+        with pytest.raises(TransformError):
+            magic_sets(program)
+
+    def test_second_argument_bound(self):
+        program = parse(
+            """
+            tc(X, Y) :- edge(X, Y).
+            tc(X, Y) :- edge(X, Z), tc(Z, Y).
+            ?- tc(X, 29).
+            """
+        )
+        db = Database.from_dict({"edge": chain(30)})
+        a1 = evaluate(program, db).answers()
+        a2 = evaluate(magic_sets(program).program, db).answers()
+        assert a1 == a2
+
+    def test_nonlinear_recursion(self):
+        program = parse(
+            """
+            t(X, Y) :- e(X, Y).
+            t(X, Y) :- t(X, Z), t(Z, Y).
+            ?- t(0, Y).
+            """
+        )
+        db = Database.from_dict({"e": random_digraph(15, 35, seed=9)})
+        a1 = evaluate(program, db).answers()
+        a2 = evaluate(magic_sets(program).program, db).answers()
+        assert a1 == a2
+
+
+class TestOrthogonality:
+    """The paper: existential optimization and Magic Sets compose."""
+
+    def program(self):
+        # bound source, needed target, existential tag
+        return parse(
+            """
+            reach(X, Y, T) :- edge(X, Y), tag(Y, T).
+            reach(X, Y, T) :- edge(X, Z), reach(Z, Y, T).
+            ?- reach(0, Y, _).
+            """
+        )
+
+    def db(self, seed=0):
+        edges = random_digraph(20, 45, seed=seed)
+        return Database.from_dict(
+            {"edge": edges, "tag": [(i, i % 3) for i in range(20)]}
+        )
+
+    def test_composition_preserves_answers(self):
+        program = self.program()
+        opt = optimize(program)
+        composed = magic_sets(opt.program)
+        for seed in range(3):
+            db = self.db(seed)
+            reference = opt.reference_answers(db)
+            got = evaluate(
+                composed.program,
+                db,
+                EngineOptions(cut_predicates=opt.cut_predicates),
+            ).answers()
+            assert reference == got
+
+    def test_composition_reduces_arity_and_restricts(self):
+        program = self.program()
+        opt = optimize(program)
+        arities = opt.program.arities()
+        # T projected out of the recursion
+        recursive = [p for p in arities if p.startswith("reach@")]
+        assert recursive and all(arities[p] == 2 for p in recursive)
+        composed = magic_sets(opt.program)
+        assert composed.changed

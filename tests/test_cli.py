@@ -1,0 +1,170 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+PROGRAM = """
+    query(X) :- reach(X, Y).
+    reach(X, Y) :- edge(X, Z), reach(Z, Y).
+    reach(X, Y) :- edge(X, Y).
+    ?- query(X).
+"""
+
+FACTS = """
+    edge(1, 2).
+    edge(2, 3).
+    edge(7, 8).
+"""
+
+CHAIN = """
+    a(X, Y) :- e(X, Z), a(Z, Y).
+    a(X, Y) :- e(X, Y).
+    ?- a(X, Y).
+"""
+
+
+@pytest.fixture
+def files(tmp_path):
+    program = tmp_path / "program.dl"
+    program.write_text(PROGRAM)
+    facts = tmp_path / "facts.dl"
+    facts.write_text(FACTS)
+    chain = tmp_path / "chain.dl"
+    chain.write_text(CHAIN)
+    return program, facts, chain
+
+
+class TestOptimize:
+    def test_describe_output(self, files, capsys):
+        program, _, _ = files
+        assert main(["optimize", str(program)]) == 0
+        out = capsys.readouterr().out
+        assert "adorned" in out and "final" in out
+
+    def test_quiet_final_only(self, files, capsys):
+        program, _, _ = files
+        assert main(["optimize", str(program), "-q"]) == 0
+        out = capsys.readouterr().out
+        assert "query@n(X) :- edge(X, Y)." in out
+        assert "adorned" not in out
+
+    def test_no_deletion_flag(self, files, capsys):
+        program, _, _ = files
+        assert main(["optimize", str(program), "-q", "--no-deletion"]) == 0
+        out = capsys.readouterr().out
+        assert "query@n" in out
+
+    def test_missing_file(self, capsys):
+        assert main(["optimize", "/nonexistent.dl"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestRun:
+    def test_plain_run(self, files, capsys):
+        program, facts, _ = files
+        assert main(["run", str(program), str(facts)]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert sorted(out) == ["1", "2", "7"]
+
+    def test_optimized_run_same_answers(self, files, capsys):
+        program, facts, _ = files
+        main(["run", str(program), str(facts)])
+        plain = capsys.readouterr().out
+        main(["run", str(program), str(facts), "-O"])
+        optimized = capsys.readouterr().out
+        assert sorted(plain.splitlines()) == sorted(optimized.splitlines())
+
+    def test_stats_to_stderr(self, files, capsys):
+        program, facts, _ = files
+        assert main(["run", str(program), str(facts), "--stats"]) == 0
+        captured = capsys.readouterr()
+        assert "iters=" in captured.err
+
+    def test_facts_file_with_rules_rejected(self, files, capsys):
+        program, _, _ = files
+        assert main(["run", str(program), str(program)]) == 2
+        assert "ground facts" in capsys.readouterr().err
+
+    def test_program_file_with_facts_rejected(self, files, tmp_path, capsys):
+        _, facts, _ = files
+        mixed = tmp_path / "mixed.dl"
+        mixed.write_text(PROGRAM + FACTS)
+        assert main(["run", str(mixed), str(facts)]) == 2
+        assert "facts" in capsys.readouterr().err
+
+
+class TestGrammar:
+    def test_chain_program_report(self, files, capsys):
+        _, _, chain = files
+        assert main(["grammar", str(chain)]) == 0
+        out = capsys.readouterr().out
+        assert "a -> e a" in out
+        assert "self-embedding: False" in out
+        assert "monadic" in out
+
+    def test_words_listing(self, files, capsys):
+        _, _, chain = files
+        assert main(["grammar", str(chain), "--words", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "  e e e" in out
+
+    def test_non_chain_program_errors(self, files, capsys):
+        program, _, _ = files
+        assert main(["grammar", str(program)]) == 2
+        assert "chain" in capsys.readouterr().err
+
+
+class TestExplain:
+    def test_derivation_tree(self, files, capsys):
+        program, facts, _ = files
+        assert main(["explain", str(program), str(facts), "reach", "1,3"]) == 0
+        out = capsys.readouterr().out
+        assert "reach(1, 3)" in out and "[rule" in out
+        assert "edge" in out
+
+    def test_underived_fact(self, files, capsys):
+        program, facts, _ = files
+        assert main(["explain", str(program), str(facts), "reach", "3,1"]) == 1
+        assert "not derived" in capsys.readouterr().err
+
+
+class TestJsonReport:
+    def test_json_output(self, files, capsys):
+        import json
+
+        program, _, _ = files
+        assert main(["optimize", str(program), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["final_rules"] == ["query@n(X) :- edge(X, Y)."]
+        assert report["query"] == "query(X)"
+        assert report["unfolded_predicates"] == ["reach@nd"]
+        assert any(
+            "subsumed" in d["reason"] or "sagiv" in d["reason"]
+            for d in report["deleted_rules"]
+        )
+
+    def test_report_dict_shape(self):
+        from repro.core import optimize
+        from repro.workloads.paper_examples import example2_program
+
+        report = optimize(example2_program()).report_dict()
+        assert report["boolean_predicates"]
+        assert isinstance(report["adorned_rules"], list)
+
+
+class TestSubsumptionLogging:
+    def test_describe_mentions_subsumption(self):
+        from repro.core import optimize
+        from repro.datalog import parse
+
+        program = parse(
+            """
+            p(X) :- e(X, Y).
+            p(X) :- e(X, Y), g(Y).
+            ?- p(X).
+            """
+        )
+        result = optimize(program)
+        assert result.subsumed
+        assert "theta-subsumption" in result.describe()

@@ -1,0 +1,153 @@
+"""Tests for the interactive shell (driven with string buffers)."""
+
+import io
+
+import pytest
+
+from repro.shell import Shell, run_shell
+
+
+def run(lines):
+    out = io.StringIO()
+    run_shell(lines, out=out, interactive=False)
+    return out.getvalue()
+
+
+class TestStatements:
+    def test_facts_and_rules_accumulate(self):
+        output = run(
+            [
+                "edge(1, 2).",
+                "tc(X, Y) :- edge(X, Y).",
+                "?- tc(X, Y).",
+            ]
+        )
+        assert "added 1 fact(s)" in output
+        assert "added 1 rule(s)" in output
+        assert "1, 2" in output and "(1 answer(s))" in output
+
+    def test_trailing_dot_optional(self):
+        output = run(["edge(1, 2)", "?- edge(X, Y)"])
+        assert "(1 answer(s))" in output
+
+    def test_recursive_query(self):
+        output = run(
+            [
+                "edge(1, 2).",
+                "edge(2, 3).",
+                "tc(X, Y) :- edge(X, Y).",
+                "tc(X, Y) :- edge(X, Z), tc(Z, Y).",
+                "?- tc(1, Y).",
+            ]
+        )
+        assert "2\n" in output and "3\n" in output
+
+    def test_arity_zero_answer_prints_true(self):
+        output = run(["e(1).", "some :- e(X).", "?- some."])
+        assert "true" in output
+
+    def test_unknown_predicate(self):
+        output = run(["?- ghost(X)."])
+        assert "unknown predicate" in output
+
+    def test_parse_error_reported_not_fatal(self):
+        output = run(["p(X :- q(X).", "e(1).", "?- e(X)."])
+        assert "error:" in output
+        assert "(1 answer(s))" in output
+
+    def test_unsafe_rule_rejected_and_not_kept(self):
+        output = run(["p(X, Y) :- e(X).", ".rules"])
+        assert "error:" in output
+        assert "(no rules)" in output
+
+    def test_comments_and_blanks_ignored(self):
+        output = run(["", "% a comment", "e(1).", "?- e(X)."])
+        assert "(1 answer(s))" in output
+
+
+class TestCommands:
+    def test_rules_listing(self):
+        output = run(["p(X) :- e(X).", ".rules"])
+        assert "[0] p(X) :- e(X)." in output
+
+    def test_facts_listing_filtered(self):
+        output = run(["e(1).", "f(2).", ".facts e"])
+        assert "e(1)." in output and "f(2)." not in output
+
+    def test_stats_requires_evaluation(self):
+        assert "no evaluation yet" in run([".stats"])
+
+    def test_stats_after_query(self):
+        output = run(["e(1).", "p(X) :- e(X).", "?- p(X).", ".stats"])
+        assert "iters=" in output
+
+    def test_optimize_requires_query(self):
+        assert "run a query first" in run([".optimize"])
+
+    def test_optimize_shows_pipeline(self):
+        output = run(
+            [
+                "p(X, Y) :- e(X, Y).",
+                "p(X, Y) :- e(X, Z), p(Z, Y).",
+                "?- p(X, _).",
+                ".optimize",
+            ]
+        )
+        assert "adorned" in output and "final" in output
+
+    def test_explain(self):
+        output = run(
+            [
+                "edge(1, 2).",
+                "tc(X, Y) :- edge(X, Y).",
+                ".explain tc 1,2",
+            ]
+        )
+        assert "tc(1, 2)" in output and "[rule" in output
+
+    def test_explain_unknown_fact(self):
+        output = run(["edge(1, 2).", "tc(X, Y) :- edge(X, Y).", ".explain tc 9,9"])
+        assert "not derived" in output
+
+    def test_strata(self):
+        output = run(
+            [
+                "reach(X) :- start(X).",
+                "reach(Y) :- reach(X), edge(X, Y).",
+                "iso(X) :- node(X), not reach(X).",
+                ".strata",
+            ]
+        )
+        assert "stratum 0: reach" in output
+        assert "stratum 1: iso" in output
+
+    def test_clear(self):
+        output = run(["e(1).", ".clear", ".facts"])
+        assert "cleared" in output and "(0 fact(s))" in output
+
+    def test_load(self, tmp_path):
+        f = tmp_path / "prog.dl"
+        f.write_text("edge(1, 2).\ntc(X, Y) :- edge(X, Y).\n?- tc(X, Y).\n")
+        output = run([f".load {f}"])
+        assert "loaded 1 rule(s), 1 fact(s)" in output
+        assert "(1 answer(s))" in output
+
+    def test_load_missing_file(self):
+        assert "error:" in run([".load /nonexistent.dl"])
+
+    def test_unknown_command(self):
+        assert "unknown command" in run([".bogus"])
+
+    def test_help(self):
+        assert ".rules" in run([".help"])
+
+    def test_quit_stops_processing(self):
+        output = run([".quit", "e(1).", "?- e(X)."])
+        assert "answer" not in output
+
+
+class TestShellObject:
+    def test_handle_returns_false_on_quit(self):
+        shell = Shell(out=io.StringIO())
+        assert shell.handle("e(1).") is True
+        assert shell.handle(".quit") is False

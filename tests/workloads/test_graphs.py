@@ -1,0 +1,110 @@
+"""Tests for the synthetic relation generators."""
+
+from repro.workloads.graphs import (
+    bipartite,
+    chain,
+    complete,
+    cycle,
+    grid,
+    layered_dag,
+    random_digraph,
+    random_relation,
+    tree,
+)
+
+
+class TestStructured:
+    def test_chain(self):
+        assert chain(4) == [(0, 1), (1, 2), (2, 3)]
+        assert chain(1) == []
+
+    def test_cycle(self):
+        assert set(cycle(3)) == {(0, 1), (1, 2), (2, 0)}
+        assert cycle(0) == []
+
+    def test_tree_edge_count_and_parents(self):
+        edges = tree(7, fanout=2)
+        assert len(edges) == 6
+        assert (0, 1) in edges and (0, 2) in edges and (1, 3) in edges
+
+    def test_grid_counts(self):
+        edges = grid(3, 4)
+        # right edges: 3*3, down edges: 2*4
+        assert len(edges) == 9 + 8
+
+    def test_grid_is_dag(self):
+        assert all(a < b for a, b in grid(4, 4))
+
+    def test_complete(self):
+        edges = complete(4)
+        assert len(edges) == 12
+        assert all(a != b for a, b in edges)
+
+    def test_bipartite_full(self):
+        edges = bipartite(2, 3)
+        assert len(edges) == 6
+        assert all(a < 2 <= b for a, b in edges)
+
+    def test_bipartite_density(self):
+        sparse = bipartite(10, 10, density=0.3, seed=1)
+        assert 0 < len(sparse) < 100
+
+
+class TestRandom:
+    def test_deterministic(self):
+        assert random_digraph(10, 20, seed=5) == random_digraph(10, 20, seed=5)
+        assert random_digraph(10, 20, seed=5) != random_digraph(10, 20, seed=6)
+
+    def test_counts_and_no_loops(self):
+        edges = random_digraph(10, 20, seed=0)
+        assert len(edges) == 20
+        assert all(a != b for a, b in edges)
+
+    def test_edge_cap(self):
+        edges = random_digraph(3, 100, seed=0)
+        assert len(edges) == 6  # 3*2 possible
+
+    def test_layered_dag_layers(self):
+        edges = layered_dag(3, 4, fanout=2, seed=1)
+        for a, b in edges:
+            assert b // 4 == a // 4 + 1
+
+    def test_random_relation_shape(self):
+        rows = random_relation(3, 15, 5, seed=2)
+        assert len(rows) == 15
+        assert all(len(r) == 3 for r in rows)
+        assert all(all(0 <= v < 5 for v in r) for r in rows)
+
+    def test_random_relation_cap(self):
+        rows = random_relation(1, 100, 4, seed=0)
+        assert len(rows) == 4
+
+
+class TestRandomEdb:
+    def test_schema_from_program(self):
+        from repro.datalog import parse
+        from repro.workloads.edb import random_edb
+
+        program = parse("q(X) :- e(X, Y), f(Y, Z, W). ?- q(X).")
+        db = random_edb(program, rows=10, domain=6, seed=1)
+        assert db.predicates() == {"e", "f"}
+        assert db.relation("f").arity == 3
+
+    def test_rows_per_predicate_override(self):
+        from repro.datalog import parse
+        from repro.workloads.edb import random_edb
+
+        program = parse("q(X) :- e(X, Y), f(Y). ?- q(X).")
+        db = random_edb(
+            program, rows=10, domain=20, seed=1, rows_per_predicate={"f": 3}
+        )
+        assert len(db.rows("f")) == 3
+        assert len(db.rows("e")) == 10
+
+    def test_uniform_instance_covers_idb(self):
+        from repro.datalog import parse
+        from repro.workloads.edb import uniform_instance
+
+        program = parse("q(X) :- e(X, Y). ?- q(X).")
+        db = uniform_instance(program, rows=5, domain=5, seed=1)
+        assert db.predicates() == {"q", "e"}

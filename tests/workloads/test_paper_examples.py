@@ -1,0 +1,88 @@
+"""Tests for the machine-readable paper examples module itself."""
+
+import pytest
+
+from repro.datalog import ValidationError
+from repro.workloads import paper_examples as pe
+
+
+class TestAdornedFromText:
+    def test_basic(self):
+        program = pe.adorned_from_text("a@nd(X) :- p(X, Y). ?- a@nd(X).")
+        assert program.projected
+        assert program.rules[0].head.derived
+        assert not program.rules[0].body[0].derived
+        assert str(program.rules[0].head.adornment) == "nd"
+
+    def test_base_literal_all_needed(self):
+        program = pe.adorned_from_text("a@nd(X) :- p(X, Y). ?- a@nd(X).")
+        assert str(program.rules[0].body[0].adornment) == "nn"
+
+    def test_boolean_marking(self):
+        program = pe.adorned_from_text(
+            "q@n(X) :- e(X), b1. b1 :- w(Y). ?- q@n(X).",
+            booleans=["b1"],
+        )
+        assert program.boolean_predicates == {"b1"}
+        assert program.rules[0].body[1].derived
+
+    def test_arity_check_projected(self):
+        with pytest.raises(ValidationError):
+            pe.adorned_from_text("a@nd(X, Y) :- p(X, Y). ?- a@nd(X, Y).")
+
+    def test_unprojected_mode(self):
+        program = pe.adorned_from_text(
+            "a@nd(X, Y) :- p(X, Y). ?- a@nd(X, Y).", projected=False
+        )
+        assert not program.projected
+
+    def test_query_required(self):
+        with pytest.raises(ValidationError):
+            pe.adorned_from_text("a@nd(X) :- p(X, Y).")
+
+    def test_defined_plain_predicate_is_derived(self):
+        program = pe.adorned_from_text(
+            "q@n(X) :- helper(X). helper(X) :- e(X). ?- q@n(X)."
+        )
+        assert program.rules[0].body[0].derived
+
+
+class TestExamplePrograms:
+    def test_all_programs_validate(self):
+        for make in (
+            pe.example1_program,
+            pe.example2_program,
+            pe.example5_program,
+            pe.example12_original,
+            pe.example12_transformed,
+        ):
+            make().validate()
+
+    def test_all_adorned_programs_validate(self):
+        for make in (
+            pe.example7_adorned,
+            pe.example8_adorned,
+            pe.example8_empty_adorned,
+            pe.example9_adorned,
+            pe.example10_adorned,
+        ):
+            make().to_program().validate()
+
+    def test_adorned_texts_parse(self):
+        for text in (
+            pe.example1_adorned_text(),
+            pe.example3_expected_text(),
+            pe.example5_adorned_text(),
+            pe.example6_optimized_text(),
+            pe.example7_reduced_text(),
+        ):
+            # texts with full-arity atoms are unprojected forms
+            try:
+                pe.adorned_from_text(text)
+            except ValidationError:
+                pe.adorned_from_text(text, projected=False)
+
+    def test_example12_programs_share_schema(self):
+        orig = pe.example12_original()
+        trans = pe.example12_transformed()
+        assert orig.edb_predicates() == trans.edb_predicates()
