@@ -1,0 +1,24 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test oracle check bench report
+
+test:  ## tier-1 test suite
+	$(PYTHON) -m pytest -x -q
+
+oracle:  ## differential oracle suite (fixed Hypothesis randomness)
+	$(PYTHON) -m pytest tests/oracle -q --hypothesis-seed=0
+
+# The gate: tier-1 plus the oracle suite, all Hypothesis runs pinned
+# to a fixed seed so `make check` is reproducible run to run.
+check:
+	$(PYTHON) -m pytest -x -q --hypothesis-seed=0
+	$(PYTHON) -m pytest tests/oracle -q --hypothesis-seed=0
+
+bench:  ## statistically careful wall-clock benchmarks
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Regenerates the EXPERIMENTS.md tables; exits nonzero if any optimized
+# configuration derived more facts than its unoptimized baseline.
+report:
+	$(PYTHON) benchmarks/run_report.py

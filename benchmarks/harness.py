@@ -17,12 +17,12 @@ Run with::
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.datalog import Database, Program
 from repro.engine import EngineOptions, EvalStats, evaluate
 
-__all__ = ["measure", "Workload", "summarize"]
+__all__ = ["measure", "Workload", "summarize", "index_ablation", "join_work_line"]
 
 
 @dataclass
@@ -37,11 +37,46 @@ class Workload:
     def run(self):
         return evaluate(self.program, self.db, self.options)
 
+    def scan_baseline(self) -> "Workload":
+        """The same workload forced onto the ``--no-index`` scan engine."""
+        return replace(
+            self,
+            label=f"{self.label} (scan)",
+            options=replace(self.options, use_indexes=False),
+        )
+
 
 def measure(workload: Workload) -> EvalStats:
     """Evaluate once and return the work counters."""
     return workload.run().stats
 
 
+def index_ablation(workload: Workload) -> tuple[EvalStats, EvalStats]:
+    """Run *workload* indexed and as the scan baseline.
+
+    Returns ``(indexed, scan)`` stats after asserting the two engines
+    computed the identical fixpoint — the ablation behind the index
+    benchmarks, so a divergence fails loudly here rather than skewing a
+    table.
+    """
+    indexed = workload.run()
+    scan = workload.scan_baseline().run()
+    assert indexed.stats.fact_counts == scan.stats.fact_counts, (
+        f"{workload.label}: indexed and scan engines disagree"
+    )
+    return indexed.stats, scan.stats
+
+
 def summarize(label: str, stats: EvalStats) -> str:
     return f"{label:<28} {stats.summary()}"
+
+
+def join_work_line(label: str, indexed: EvalStats, scan: EvalStats) -> str:
+    """One comparison line: scanned rows, probes, and the speedup the
+    indexes bought in join work (rows scanned + index probes)."""
+    ratio = scan.join_work / max(1, indexed.join_work)
+    return (
+        f"{label:<28} scan_rows={scan.rows_scanned} "
+        f"idx_rows={indexed.rows_scanned} idx_probes={indexed.index_probes} "
+        f"builds={indexed.index_builds} join_work x{ratio:.1f}"
+    )

@@ -35,6 +35,21 @@ import bench_magic_composition as p4
 import bench_topdown_vs_magic as td
 
 
+#: optimized configurations that derived MORE facts than their
+#: unoptimized baseline — populated by the reports, checked by main(),
+#: which exits nonzero if any appear (the paper's "at least as well"
+#: claim, enforced on every regenerated table).
+VIOLATIONS: list[str] = []
+
+
+def check_no_extra_facts(experiment: str, label: str, optimized: int, baseline: int) -> None:
+    if optimized > baseline:
+        VIOLATIONS.append(
+            f"{experiment}: {label} derived {optimized} facts "
+            f"vs {baseline} for its unoptimized baseline"
+        )
+
+
 def timed(fn):
     fn()  # warm-up
     start = time.perf_counter()
@@ -75,9 +90,15 @@ def report_e3() -> None:
     rows = []
     for n in e3.SIZES:
         db = e3.make_db(n)
+        facts = {}
         for label, prog in (("binary (original)", original), ("unary (projected)", projected)):
             ms, res = timed(lambda p=prog: evaluate(p, db))
+            facts[label] = res.stats.facts_derived
             rows.append([f"V={n}", label, fmt(ms), res.stats.facts_derived, res.stats.duplicates])
+        check_no_extra_facts(
+            "e3", f"unary (projected) V={n}",
+            facts["unary (projected)"], facts["binary (original)"],
+        )
     table(
         "E3/P2 — projection pushing (Example 3)",
         ["size", "config", "time", "facts", "dups"],
@@ -90,9 +111,15 @@ def report_e6() -> None:
     rows = []
     for n in e6.SIZES:
         db = e6.make_db(n)
+        facts = {}
         for label, prog in (("4 rules (original)", original), ("1 rule (optimized)", optimized)):
             ms, res = timed(lambda p=prog: evaluate(p, db))
+            facts[label] = res.stats.facts_derived
             rows.append([f"V={n}", label, fmt(ms), res.stats.facts_derived])
+        check_no_extra_facts(
+            "e6", f"1 rule (optimized) V={n}",
+            facts["1 rule (optimized)"], facts["4 rules (original)"],
+        )
     table("E6 — uniform query equivalence (Example 6)", ["size", "config", "time", "facts"], rows)
 
 
@@ -100,12 +127,18 @@ def report_e12() -> None:
     rows = []
     for height, tags in e12.SIZES:
         db = e12.make_db(height, tags)
+        facts = {}
         for label, prog in (
             ("arity-3 (original)", e12.example12_original()),
             ("arity-2 (transformed)", e12.example12_transformed()),
         ):
             ms, res = timed(lambda p=prog: evaluate(p, db))
+            facts[label] = res.stats.facts_derived
             rows.append([f"h={height} tags={tags}", label, fmt(ms), res.stats.facts_derived])
+        check_no_extra_facts(
+            "e12", f"arity-2 (transformed) h={height} tags={tags}",
+            facts["arity-2 (transformed)"], facts["arity-3 (original)"],
+        )
     table("E12 — section-6 transformation", ["size", "config", "time", "facts"], rows)
 
 
@@ -125,8 +158,12 @@ def report_p5() -> None:
         prog = p5.program_with_payload(k)
         db = p5.make_db(k)
         result = optimize(prog)
-        ms_o, _ = timed(lambda: evaluate(prog, db))
-        ms_x, _ = timed(lambda: result.evaluate(db))
+        ms_o, res_o = timed(lambda: evaluate(prog, db))
+        ms_x, res_x = timed(lambda: result.evaluate(db))
+        check_no_extra_facts(
+            "p5", f"optimized k={k}",
+            res_x.stats.facts_derived, res_o.stats.facts_derived,
+        )
         rows.append([f"k={k}", fmt(ms_o), fmt(ms_x)])
     table("P5 — arity sweep", ["payload", "original", "optimized"], rows)
 
@@ -147,6 +184,35 @@ def report_td() -> None:
     )
 
 
+def report_ix() -> None:
+    """Indexed semi-naive engine vs the ``--no-index`` scan baseline."""
+    from harness import Workload, index_ablation
+
+    original, _ = e3.programs()
+    n = e3.SIZES[-1]
+    cases = [
+        Workload(f"e3 binary TC V={n}", original, e3.make_db(n)),
+        Workload("p5 payload k=2", p5.program_with_payload(2), p5.make_db(2)),
+    ]
+    rows = []
+    for wl in cases:
+        indexed, scan = index_ablation(wl)
+        ratio = scan.join_work / max(1, indexed.join_work)
+        rows.append([
+            wl.label, "indexed", indexed.rows_scanned, indexed.index_probes,
+            indexed.index_builds, indexed.join_work, "",
+        ])
+        rows.append([
+            wl.label, "scan (--no-index)", scan.rows_scanned, 0,
+            0, scan.join_work, f"x{ratio:.1f}",
+        ])
+    table(
+        "IX — hash indexes vs full scans (identical answers)",
+        ["workload", "engine", "rows scanned", "index probes", "builds", "join work", "speedup"],
+        rows,
+    )
+
+
 REPORTS = {
     "e2": report_e2,
     "e3": report_e3,
@@ -155,6 +221,7 @@ REPORTS = {
     "p4": report_p4,
     "p5": report_p5,
     "td": report_td,
+    "ix": report_ix,
 }
 
 
@@ -164,8 +231,14 @@ def main(argv: list[str]) -> int:
     if unknown:
         print(f"unknown experiment ids: {unknown}; known: {sorted(REPORTS)}", file=sys.stderr)
         return 2
+    VIOLATIONS.clear()
     for c in chosen:
         REPORTS[c]()
+    if VIOLATIONS:
+        print(file=sys.stderr)
+        for v in VIOLATIONS:
+            print(f"FACT-COUNT REGRESSION: {v}", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -72,12 +72,13 @@ def _cmd_optimize(args) -> int:
 def _cmd_run(args) -> int:
     program = _load_program(args.program)
     db = _load_facts(args.facts)
+    use_indexes = not args.no_index
     if args.optimize:
         result = optimize(program)
-        evaluation = result.evaluate(db)
+        evaluation = result.evaluate(db, use_indexes=use_indexes)
         answers = result.answers(db)
     else:
-        evaluation = evaluate(program, db, EngineOptions())
+        evaluation = evaluate(program, db, EngineOptions(use_indexes=use_indexes))
         answers = evaluation.answers()
     for row in sorted(answers, key=repr):
         print(", ".join(map(str, row)))
@@ -161,6 +162,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("facts", help="file of ground facts (the EDB)")
     p_run.add_argument("-O", "--optimize", action="store_true")
     p_run.add_argument("--stats", action="store_true", help="work counters to stderr")
+    p_run.add_argument(
+        "--no-index",
+        action="store_true",
+        help="answer probes by full scans instead of hash indexes "
+        "(the baseline engine; answers are identical, only work differs)",
+    )
     p_run.set_defaults(fn=_cmd_run)
 
     p_gram = sub.add_parser("grammar", help="chain-program / CFG view")

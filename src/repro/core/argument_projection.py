@@ -46,6 +46,65 @@ __all__ = [
 Occurrence = tuple[int, int]
 
 
+class _UnionFind:
+    """Minimal union-find over hashable nodes."""
+
+    def __init__(self):
+        self._parent: dict = {}
+
+    def find(self, x):
+        parent = self._parent
+        parent.setdefault(x, x)
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(self, x, y) -> None:
+        rx, ry = self.find(x), self.find(y)
+        if rx != ry:
+            self._parent[rx] = ry
+
+    def connected(self, x, y) -> bool:
+        return self.find(x) == self.find(y)
+
+
+def _endpoint_summary(
+    uf: "_UnionFind", left_nodes: set, right_nodes: set
+) -> tuple[frozenset, frozenset, frozenset]:
+    """Summarize a composite's connectivity onto its end literals.
+
+    Returns ``(edges, left_links, right_links)``: the left–right
+    connected pairs, plus the *hidden* same-side connected pairs — pairs
+    the bipartite edge graph alone does not reconnect (their only paths
+    run through middle nodes no end node reaches).  Hidden links are
+    exactly what pairwise summarization used to lose; storing only the
+    hidden ones keeps the representation canonical (a pure function of
+    the composite's end-to-end connectivity).
+    """
+    edges = frozenset(
+        (i, k)
+        for i in left_nodes
+        for k in right_nodes
+        if uf.connected(("L", i), ("R", k))
+    )
+    implied = _UnionFind()
+    for i, k in edges:
+        implied.union(("L", i), ("R", k))
+
+    def hidden(nodes: set, tag: str) -> frozenset:
+        ordered = sorted(nodes)
+        return frozenset(
+            (a, b)
+            for x, a in enumerate(ordered)
+            for b in ordered[x + 1 :]
+            if uf.connected((tag, a), (tag, b))
+            and not implied.connected((tag, a), (tag, b))
+        )
+
+    return edges, hidden(left_nodes, "L"), hidden(right_nodes, "R")
+
+
 @dataclass(frozen=True, slots=True)
 class ArgumentProjection:
     """An argument projection between two adorned predicate names.
@@ -56,11 +115,32 @@ class ArgumentProjection:
     (see :func:`program_projections`), matching the remark that
     numbering "does not affect the way argument projections are
     composed".
+
+    ``left_links`` / ``right_links`` record *hidden* same-side
+    connectivity: pairs of left (resp. right) positions that the
+    underlying composite connects, but only through middle nodes that
+    reach no node of the opposite end — so the bipartite ``edges``
+    alone cannot reconstruct the connection.  Without them, summarizing
+    a prefix of a composition chain would forget that two middle
+    positions were merged, and a later factor could silently lose
+    end-to-end edges (summaries would no longer be lossless for
+    connectivity).  Pairs already implied by ``edges`` (two positions
+    sharing a partner on the other side) are never stored, keeping the
+    representation canonical and the common no-hidden-links case
+    identical to the plain bipartite form.
     """
 
     left: str
     right: str
     edges: frozenset[tuple[int, int]]
+    left_links: frozenset[tuple[int, int]] = frozenset()
+    right_links: frozenset[tuple[int, int]] = frozenset()
+
+    def left_nodes(self) -> set:
+        return {i for i, _ in self.edges} | {a for pair in self.left_links for a in pair}
+
+    def right_nodes(self) -> set:
+        return {k for _, k in self.edges} | {a for pair in self.right_links for a in pair}
 
     def compose(self, other: "ArgumentProjection") -> "ArgumentProjection":
         """The summary of the composite ``self ∘ other``.
@@ -69,7 +149,10 @@ class ArgumentProjection:
         the middle literal's nodes; the summary has an edge ``(i, k)``
         iff a path connects left node *i* to right node *k* — note paths
         may zig-zag (left–mid–left–mid–right), so this is genuine graph
-        connectivity, not relational composition.
+        connectivity, not relational composition.  Hidden same-side
+        links of both factors participate in (and are reproduced by)
+        the connectivity computation, which is what makes pairwise
+        composition agree with merging a whole chain at once.
         """
         if self.right != other.left:
             raise TransformError(
@@ -77,33 +160,28 @@ class ArgumentProjection:
                 f"({other.left},{other.right})"
             )
         # Union-find over nodes tagged L/M/R.
-        parent: dict = {}
-
-        def find(x):
-            parent.setdefault(x, x)
-            while parent[x] != x:
-                parent[x] = parent[parent[x]]
-                x = parent[x]
-            return x
-
-        def union(x, y):
-            rx, ry = find(x), find(y)
-            if rx != ry:
-                parent[rx] = ry
-
+        uf = _UnionFind()
         for i, j in self.edges:
-            union(("L", i), ("M", j))
+            uf.union(("L", i), ("M", j))
+        for a, b in self.left_links:
+            uf.union(("L", a), ("L", b))
+        for a, b in self.right_links:
+            uf.union(("M", a), ("M", b))
         for j, k in other.edges:
-            union(("M", j), ("R", k))
-        left_nodes = {i for i, _ in self.edges}
-        right_nodes = {k for _, k in other.edges}
-        edges = frozenset(
-            (i, k)
-            for i in left_nodes
-            for k in right_nodes
-            if find(("L", i)) == find(("R", k))
+            uf.union(("M", j), ("R", k))
+        for a, b in other.left_links:
+            uf.union(("M", a), ("M", b))
+        for a, b in other.right_links:
+            uf.union(("R", a), ("R", b))
+        # End nodes of the composite are self's left side (tag L) and
+        # other's right side (tag R) — exactly the tags the union-find
+        # above used, so the summary reads connectivity off directly.
+        edges, left_links, right_links = _endpoint_summary(
+            uf, self.left_nodes(), other.right_nodes()
         )
-        return ArgumentProjection(self.left, other.right, edges)
+        return ArgumentProjection(
+            self.left, other.right, edges, left_links, right_links
+        )
 
     def maps_position(self, i: int) -> frozenset[int]:
         """Right positions connected to left position *i*."""
@@ -126,16 +204,35 @@ def identity_projection(predicate: str, arity: int) -> ArgumentProjection:
 
 
 def head_body_projection(rule: AdornedRule, body_index: int) -> ArgumentProjection:
-    """The projection from the rule head to one derived body literal."""
+    """The projection from the rule head to one derived body literal.
+
+    Besides the cross edges (same variable at a head and a body
+    position), a variable repeated within one atom but absent from the
+    other contributes a hidden same-side link: the positions are merged
+    by the variable, yet no edge records it — precisely the information
+    pairwise summarization needs to stay lossless (see
+    :class:`ArgumentProjection`).
+    """
     head, lit = rule.head, rule.body[body_index]
-    edges = set()
+    uf = _UnionFind()
+    left_nodes: set[int] = set()
+    right_nodes: set[int] = set()
+    by_var: dict[Variable, list] = {}
     for i, harg in enumerate(head.atom.args):
-        if not isinstance(harg, Variable):
-            continue
-        for j, barg in enumerate(lit.atom.args):
-            if harg == barg:
-                edges.add((i, j))
-    return ArgumentProjection(head.atom.predicate, lit.atom.predicate, frozenset(edges))
+        if isinstance(harg, Variable):
+            by_var.setdefault(harg, []).append(("L", i))
+            left_nodes.add(i)
+    for j, barg in enumerate(lit.atom.args):
+        if isinstance(barg, Variable):
+            by_var.setdefault(barg, []).append(("R", j))
+            right_nodes.add(j)
+    for nodes in by_var.values():
+        for node in nodes[1:]:
+            uf.union(nodes[0], node)
+    edges, left_links, right_links = _endpoint_summary(uf, left_nodes, right_nodes)
+    return ArgumentProjection(
+        head.atom.predicate, lit.atom.predicate, edges, left_links, right_links
+    )
 
 
 def program_projections(

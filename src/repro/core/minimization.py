@@ -1,0 +1,137 @@
+"""Conjunctive body minimization: drop redundant body literals.
+
+Unfolding (and, less often, projection pushing) can leave a rule body
+with literals that constrain nothing, e.g. after splicing ``s(X) :-
+e(X, Y)`` and ``q(X, X) :- e(X, Y)`` into their consumer::
+
+    r@nd(X) :- e(X, _U3), e(X, _U2), e(X, Y).
+
+All three literals assert the same thing — "X has an e-successor" —
+but the engine pays the full cross product of their matches, so the
+"optimized" program can do *more* duplicate-elimination work than the
+original (the failure mode of the random-program work-bound test).
+
+A body literal ``L`` is redundant when some other literal ``L'`` of the
+same body subsumes it: there is a substitution θ, defined only on the
+variables *private* to ``L`` (occurring in no other literal, nor in the
+head, negated literals, or built-ins), with ``Lθ = L'``.  Dropping
+``L`` is then answer-preserving on every database: the identity
+extended by θ is a homomorphism from the old body onto the new one
+fixing every shared variable, so for each assignment of the non-private
+variables the old body is satisfiable iff the new one is — and heads,
+negated literals and built-ins only see non-private variables.  (This
+is the classical conjunctive-query minimization step of Chandra and
+Merlin, restricted to the head-preserving homomorphisms that make it
+sound for rules.)
+
+The pass iterates to a fixpoint per rule, so chains of redundant
+literals collapse; it never touches negated or built-in literals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..datalog.builtins import is_builtin
+from ..datalog.terms import Constant, Variable
+from .adornment import AdornedProgram, AdornedRule
+
+__all__ = ["MinimizationReport", "minimize_rule_bodies"]
+
+
+@dataclass(frozen=True)
+class MinimizationReport:
+    """The minimized program plus ``(before, after)`` per changed rule."""
+
+    program: AdornedProgram
+    changed: tuple[tuple[AdornedRule, AdornedRule], ...]
+
+    @property
+    def removed_literals(self) -> int:
+        return sum(
+            len(before.body) - len(after.body) for before, after in self.changed
+        )
+
+
+def _private_variables(rule: AdornedRule, index: int) -> frozenset[Variable]:
+    """Variables occurring in body literal *index* and nowhere else.
+
+    "Elsewhere" spans the head, every other body literal (including
+    built-ins, which live in ``body``), and every negated literal — any
+    context that could observe the variable's value.
+    """
+    own = {a for a in rule.body[index].atom.args if isinstance(a, Variable)}
+    others = set()
+    for i, lit in enumerate(rule.body):
+        if i != index:
+            others.update(a for a in lit.atom.args if isinstance(a, Variable))
+    others.update(a for a in rule.head.atom.args if isinstance(a, Variable))
+    for lit in rule.negative:
+        others.update(a for a in lit.atom.args if isinstance(a, Variable))
+    return frozenset(own - others)
+
+
+def _subsumed_by(rule: AdornedRule, index: int) -> bool:
+    """Is body literal *index* subsumed by another literal of the body
+    via a substitution on its private variables only?"""
+    literal = rule.body[index]
+    if is_builtin(literal.atom.predicate):
+        return False
+    private = _private_variables(rule, index)
+    for j, other in enumerate(rule.body):
+        if j == index or other.atom.predicate != literal.atom.predicate:
+            continue
+        if other.atom.arity != literal.atom.arity:
+            continue
+        theta: dict[Variable, object] = {}
+        for mine, theirs in zip(literal.atom.args, other.atom.args):
+            if isinstance(mine, Constant):
+                if mine != theirs:
+                    break
+            elif mine in private:
+                if mine in theta:
+                    if theta[mine] != theirs:
+                        break
+                else:
+                    theta[mine] = theirs
+            elif mine != theirs:
+                # a shared variable must stay fixed: the homomorphism
+                # may only move private variables
+                break
+        else:
+            return True
+    return False
+
+
+def _minimize_rule(rule: AdornedRule) -> AdornedRule:
+    current = rule
+    while True:
+        drop = next(
+            (
+                i
+                for i in range(len(current.body))
+                if len(current.body) > 1 and _subsumed_by(current, i)
+            ),
+            None,
+        )
+        if drop is None:
+            return current
+        current = AdornedRule(
+            current.head,
+            current.body[:drop] + current.body[drop + 1 :],
+            current.negative,
+        )
+
+
+def minimize_rule_bodies(program: AdornedProgram) -> MinimizationReport:
+    """Minimize every rule body of *program* (see module docstring)."""
+    changed: list[tuple[AdornedRule, AdornedRule]] = []
+    rules: list[AdornedRule] = []
+    for rule in program.rules:
+        minimized = _minimize_rule(rule)
+        if minimized is not rule:
+            changed.append((rule, minimized))
+        rules.append(minimized)
+    if not changed:
+        return MinimizationReport(program, ())
+    return MinimizationReport(program.with_rules(rules), tuple(changed))

@@ -88,6 +88,9 @@ class OptimizationResult:
     subsumed: tuple = ()
     #: predicates eliminated by the unfolding post-pass
     unfolded: tuple = ()
+    #: rules whose bodies lost redundant literals to conjunctive
+    #: minimization, as (before, after) pairs
+    minimized: tuple = ()
 
     @property
     def program(self) -> Program:
@@ -110,7 +113,7 @@ class OptimizationResult:
         """Evaluate the optimized program (with cut) over *edb*."""
         return evaluate(self.program, edb, self.engine_options(**overrides))
 
-    def answers(self, edb: Database) -> frozenset[tuple]:
+    def answers(self, edb: Database, **overrides) -> frozenset[tuple]:
         """Answers of the optimized program — the bindings of the
         original query's *needed* variables (existential positions were
         projected out, which is the point).
@@ -118,8 +121,10 @@ class OptimizationResult:
         When the pipeline ran without projection, the final query atom
         still carries its existential variables; the answer tuples are
         projected here so the result is comparable either way.
+        *overrides* are forwarded to :class:`EngineOptions` (the oracle
+        suite re-runs the optimized program under every strategy).
         """
-        raw = self.evaluate(edb).answers()
+        raw = self.evaluate(edb, **overrides).answers()
         if self.answer_positions is not None:
             return frozenset(
                 tuple(row[i] for i in self.answer_positions) for row in raw
@@ -155,6 +160,10 @@ class OptimizationResult:
             + [
                 {"rule": str(rule), "reason": f"theta-subsumed by {winner}"}
                 for rule, winner in self.subsumed
+            ],
+            "minimized_bodies": [
+                {"before": str(before), "after": str(after)}
+                for before, after in self.minimized
             ],
             "final_rules": [str(r) for r in self.final.rules],
             "final_query": str(self.final.query.atom),
@@ -193,6 +202,12 @@ class OptimizationResult:
                 "== rules removed by theta-subsumption (section 6) ==",
                 *(f"{rule}   [subsumed by {winner}]" for rule, winner in self.subsumed),
             ]
+        if self.minimized:
+            lines += [
+                "",
+                "== redundant body literals minimized away ==",
+                *(f"{before}   ->   {after}" for before, after in self.minimized),
+            ]
         if self.unit_rules is not None and self.unit_rules.added:
             lines += [
                 "",
@@ -221,6 +236,7 @@ def optimize(
     use_sagiv: bool = True,
     subsumption: bool = True,
     unfold: bool = True,
+    minimize_bodies: bool = True,
 ) -> OptimizationResult:
     """Run the paper's optimization pipeline on *program*.
 
@@ -326,6 +342,21 @@ def optimize(
 
             current = cascade(current).program
 
+    minimized: tuple = ()
+    if minimize_bodies and project:
+        # Unfolding (and projection) can leave a body with literals
+        # that only repeat an existential condition another literal
+        # already states; evaluating them multiplies duplicate
+        # derivations, defeating the section-3.2 work reduction.  Drop
+        # them (sound conjunctive-query minimization; see
+        # repro.core.minimization).
+        from .minimization import minimize_rule_bodies
+
+        min_report = minimize_rule_bodies(current)
+        if min_report.changed:
+            current = min_report.program
+            minimized = min_report.changed
+
     current, answer_positions = _inline_projection_query(current)
 
     return OptimizationResult(
@@ -339,6 +370,7 @@ def optimize(
         answer_positions=answer_positions,
         subsumed=tuple(subsumed),
         unfolded=unfolded,
+        minimized=minimized,
     )
 
 

@@ -28,12 +28,16 @@ Row = Tuple
 class Relation:
     """A set of fixed-arity tuples with lazily built hash indexes."""
 
-    __slots__ = ("arity", "_rows", "_indexes")
+    __slots__ = ("arity", "_rows", "_indexes", "index_builds")
 
     def __init__(self, arity: int, rows: Iterable[Sequence] = ()):
         self.arity = arity
         self._rows: set[Row] = set()
         self._indexes: dict[tuple[int, ...], dict[Row, list[Row]]] = {}
+        #: number of hash indexes materialized over this relation's
+        #: lifetime (lazy builds only; incremental maintenance on
+        #: insert does not count)
+        self.index_builds: int = 0
         for row in rows:
             self.add(tuple(row))
 
@@ -87,7 +91,25 @@ class Relation:
                 key = tuple(row[p] for p in positions)
                 index.setdefault(key, []).append(row)
             self._indexes[positions] = index
+            self.index_builds += 1
         return index
+
+    def has_index(self, positions: tuple[int, ...]) -> bool:
+        """True iff the index on *positions* is currently materialized."""
+        return positions in self._indexes
+
+    def indexed_position_sets(self) -> frozenset[tuple[int, ...]]:
+        """The position subsets currently carrying a hash index."""
+        return frozenset(self._indexes)
+
+    def invalidate_indexes(self) -> None:
+        """Drop every materialized index (they rebuild lazily).
+
+        Inserts normally maintain indexes incrementally, so this is
+        only needed when rows are mutated behind the relation's back
+        (tests) or to bound memory between evaluation phases.
+        """
+        self._indexes.clear()
 
     def lookup(self, positions: tuple[int, ...], key: Row) -> list[Row]:
         """Rows whose values at *positions* equal *key* (empty list if none).
@@ -205,6 +227,15 @@ class Database:
 
     def fact_count(self) -> int:
         return sum(len(rel) for rel in self._relations.values())
+
+    def relation_sizes(self) -> Dict[str, int]:
+        """Current row count per predicate (the planner's selectivity
+        input)."""
+        return {name: len(rel) for name, rel in self._relations.items()}
+
+    def index_builds(self) -> int:
+        """Total lazy index builds across all relations."""
+        return sum(rel.index_builds for rel in self._relations.values())
 
     def active_domain(self) -> frozenset:
         """All constant values occurring anywhere in the database."""

@@ -46,6 +46,12 @@ class EngineOptions:
     cut_predicates
         Arity-0 predicates whose rules are retired once the predicate
         becomes true (the boolean subqueries of section 3.1).
+    use_indexes
+        Answer bound-position probes with lazily built hash indexes
+        (default).  ``False`` forces every probe back to a full
+        relation scan plus filter — the ``--no-index`` baseline the
+        work-monotonicity regression measures against.  Answers are
+        identical either way; only the work counters differ.
     record_provenance
         Record a first justification per derived fact, enabling
         :meth:`EvalResult.derivation`.
@@ -58,6 +64,7 @@ class EngineOptions:
 
     strategy: str = "seminaive"
     cut_predicates: frozenset[str] = frozenset()
+    use_indexes: bool = True
     record_provenance: bool = False
     max_iterations: Optional[int] = None
 
@@ -154,7 +161,15 @@ def evaluate(
         db.ensure(pred, arities[pred])
 
     # Seed fact rules (ground, body-less); the paper keeps facts in the
-    # EDB but the parser tolerates them in programs.
+    # EDB but the parser tolerates them in programs.  Rules compile
+    # against the input relation sizes: derived relations are empty (or
+    # nearly so) at this point but typically grow past the base
+    # relations, so the selectivity heuristic treats them as larger
+    # than any stored relation when breaking join-order ties.
+    sizes = db.relation_sizes()
+    largest = max(sizes.values(), default=0)
+    for pred in program.idb_predicates():
+        sizes[pred] = max(sizes.get(pred, 0), largest + 1)
     compiled: list[CompiledRule] = []
     for i, r in enumerate(program.rules):
         if not r.body:
@@ -163,7 +178,7 @@ def evaluate(
             if db.ensure(r.head.predicate, r.head.arity).add(r.head.as_fact()):
                 stats.facts_derived += 1
             continue
-        compiled.append(compile_rule(r, i))
+        compiled.append(compile_rule(r, i, sizes=sizes))
 
     retire = _Retirer(opts.cut_predicates, stats)
 
@@ -191,6 +206,9 @@ def evaluate(
 
     for pred in program.idb_predicates():
         stats.fact_counts[pred] = len(db.rows(pred))
+    # db is a private copy, so every lazy build on its relations
+    # happened during this run.
+    stats.index_builds = db.index_builds()
     return EvalResult(program, db, stats, provenance)
 
 
@@ -228,7 +246,9 @@ def _fire(
     head_pred = cr.rule.head.predicate
     rel = db.relation(head_pred)
     assert rel is not None
-    for subst, body_rows in match_plan(plans, db, stats, delta_rows=delta_rows):
+    for subst, body_rows in match_plan(
+        plans, db, stats, delta_rows=delta_rows, use_indexes=opts.use_indexes
+    ):
         if cr.builtins and not _builtins_hold(cr, subst):
             continue
         if cr.rule.negative and not _negatives_hold(cr, db, subst, stats):
@@ -296,6 +316,26 @@ def _naive_loop(active, db, stats, provenance, opts, retire) -> None:
 
 
 def _seminaive_loop(active, db, stats, provenance, opts, retire) -> None:
+    # Specialize each rule once per *recursive* literal — a body
+    # position whose predicate is the head of some rule in this stratum
+    # (including boolean cut rules that may retire later: their facts
+    # still arrive as deltas) and can therefore ever change.  Literals
+    # over stored or lower-stratum relations never change here, so no
+    # delta body starts from them and the rule is never re-scanned in
+    # full.
+    recursive = {cr.rule.head.predicate for cr in active}
+    specializations = [
+        (
+            cr,
+            [
+                (i, literal.predicate)
+                for i, literal in enumerate(cr.relational_body)
+                if literal.predicate in recursive
+            ],
+        )
+        for cr in active
+    ]
+
     # First round is naive: it also accounts for initial IDB facts,
     # which uniform-equivalence inputs may contain.
     _check_budget(stats, opts)
@@ -304,13 +344,16 @@ def _seminaive_loop(active, db, stats, provenance, opts, retire) -> None:
         _fire(cr, cr.plan, db, stats, provenance, opts, delta)
     active = retire.filter(active, db)
 
+    alive = set(map(id, active))
     while any(delta.values()):
         _check_budget(stats, opts)
         previous = {p: frozenset(rows) for p, rows in delta.items() if rows}
         delta = {}
-        for cr in active:
-            for i, literal in enumerate(cr.relational_body):
-                rows = previous.get(literal.predicate)
+        for cr, delta_literals in specializations:
+            if id(cr) not in alive:
+                continue
+            for i, predicate in delta_literals:
+                rows = previous.get(predicate)
                 if not rows:
                     continue
                 _fire(
@@ -324,3 +367,4 @@ def _seminaive_loop(active, db, stats, provenance, opts, retire) -> None:
                     delta_rows=rows,
                 )
         active = retire.filter(active, db)
+        alive = set(map(id, active))

@@ -1,11 +1,21 @@
 """Rule compilation: body ordering and index-aware literal matching.
 
 A rule body is evaluated as a left-deep nested-loop join over hash
-indexes.  :func:`order_body` picks a join order greedily — at each step
-the literal with the most already-bound argument positions is chosen, so
-index lookups replace scans wherever possible.  :class:`CompiledRule`
-caches, per literal, which positions will be bound when the literal is
-reached, so evaluation does no per-tuple planning.
+indexes.  :func:`order_body` picks a join order greedily by a
+selectivity heuristic — at each step the literal with the most
+already-bound argument positions is chosen (ties broken by smaller
+relation size when the planner is given sizes, then by original body
+order), so index lookups replace scans wherever possible.
+:class:`CompiledRule` caches, per literal, which positions will be
+bound when the literal is reached, so evaluation does no per-tuple
+planning.
+
+Each probe of a stored relation is counted in exactly one of two ways:
+an **index probe** when the literal has bound positions and indexing is
+enabled (the relation's lazily built hash index on those positions
+answers the probe), or a **scan fallback** when no position is bound or
+``use_indexes=False`` forces the engine back to the seed behaviour of
+enumerating the whole relation and filtering.
 
 Substitutions at evaluation time are plain ``dict[Variable, value]``
 with raw Python values (not :class:`Constant` wrappers); this is the
@@ -14,8 +24,8 @@ engine's hot path.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterator, Optional, Sequence
+from dataclasses import dataclass, replace
+from typing import Iterator, Mapping, Optional, Sequence
 
 from ..datalog.ast import Atom, Rule
 from ..datalog.builtins import is_builtin
@@ -42,6 +52,12 @@ class LiteralPlan:
     body_index: int  # position in the original rule body
     bound_positions: tuple[int, ...]
     free_positions: tuple[tuple[int, Variable], ...]
+    #: every variable this literal newly binds is *dead* — unused by
+    #: later plan steps, the head, built-ins and negated literals — so
+    #: one matching row witnesses the literal and scanning further
+    #: candidates can only repeat downstream work (the existential
+    #: first-match cut; see compile_rule).
+    existential: bool = False
 
     def key_for(self, subst: dict) -> Optional[tuple]:
         """The index key under *subst*; None is never returned — every
@@ -86,17 +102,30 @@ def _plan_literal(atom: Atom, body_index: int, bound_vars: set[Variable]) -> Lit
     return LiteralPlan(atom, body_index, tuple(bound_positions), tuple(free_positions))
 
 
-def order_body(body: Sequence[Atom], first: Optional[int] = None) -> tuple[LiteralPlan, ...]:
+def order_body(
+    body: Sequence[Atom],
+    first: Optional[int] = None,
+    sizes: Optional[Mapping[str, int]] = None,
+) -> tuple[LiteralPlan, ...]:
     """Choose a join order and compute binding patterns.
 
     *first*, when given, forces that body index to the front — used by
     the semi-naive evaluator to start from the delta literal.  The rest
-    is ordered greedily by bound-argument count (ties broken by original
-    body order, keeping plans deterministic).
+    is ordered greedily by the selectivity heuristic: most bound
+    argument positions first, ties broken by smaller relation size
+    (when *sizes* gives an estimate for the predicate; unknown
+    predicates sort as largest), then by original body order, keeping
+    plans deterministic.
     """
     remaining = list(range(len(body)))
     plans: list[LiteralPlan] = []
     bound_vars: set[Variable] = set()
+    unknown = (max(sizes.values(), default=0) + 1) if sizes else 0
+
+    def size_of(atom: Atom) -> int:
+        if not sizes:
+            return 0
+        return sizes.get(atom.predicate, unknown)
 
     def take(i: int) -> None:
         remaining.remove(i)
@@ -115,6 +144,7 @@ def order_body(body: Sequence[Atom], first: Optional[int] = None) -> tuple[Liter
                     for arg in body[i].args
                     if isinstance(arg, Constant) or arg in bound_vars
                 ),
+                -size_of(body[i]),
                 -i,
             ),
         )
@@ -150,14 +180,52 @@ class CompiledRule:
         )
 
 
-def compile_rule(rule: Rule, rule_index: int) -> CompiledRule:
+def _mark_existential(
+    plans: tuple[LiteralPlan, ...], always_needed: frozenset[Variable]
+) -> tuple[LiteralPlan, ...]:
+    """Flag plan steps whose newly bound variables are all dead.
+
+    A flagged literal is a pure existence test: any single matching row
+    produces the same downstream substitution (its new bindings are
+    invisible to later steps, the head, built-ins and negations), so
+    :func:`match_plan` stops at the first match instead of enumerating
+    every candidate — this keeps dead existential variables (the
+    hallmark of the paper's queries, and a frequent by-product of
+    unfolding) from cross-multiplying into duplicate rule firings.
+    """
+    marked = list(plans)
+    needed = set(always_needed)
+    for i in range(len(plans) - 1, -1, -1):
+        plan = plans[i]
+        new_vars = {v for _, v in plan.free_positions}
+        if new_vars and not (new_vars & needed):
+            marked[i] = replace(plan, existential=True)
+        needed.update(
+            a for a in plan.atom.args if isinstance(a, Variable)
+        )
+    return tuple(marked)
+
+
+def compile_rule(
+    rule: Rule, rule_index: int, sizes: Optional[Mapping[str, int]] = None
+) -> CompiledRule:
     """Compile *rule*: one naive plan plus one delta plan per
-    relational literal; built-ins become post-match filters."""
+    relational literal; built-ins become post-match filters.  *sizes*
+    (relation row counts) feeds the join-order selectivity heuristic."""
     relational = tuple(a for a in rule.body if not is_builtin(a.predicate))
     builtins = tuple(a for a in rule.body if is_builtin(a.predicate))
-    plan = order_body(relational)
+    always_needed = frozenset(
+        a
+        for atom in (rule.head, *builtins, *rule.negative)
+        for a in atom.args
+        if isinstance(a, Variable)
+    )
+    plan = _mark_existential(order_body(relational, sizes=sizes), always_needed)
     delta_plans = tuple(
-        order_body(relational, first=i) for i in range(len(relational))
+        _mark_existential(
+            order_body(relational, first=i, sizes=sizes), always_needed
+        )
+        for i in range(len(relational))
     )
     return CompiledRule(rule, rule_index, relational, builtins, plan, delta_plans)
 
@@ -168,6 +236,7 @@ def match_plan(
     stats: EvalStats,
     delta_rows: Optional[frozenset] = None,
     subst: Optional[dict] = None,
+    use_indexes: bool = True,
 ) -> Iterator[tuple[dict, tuple]]:
     """Enumerate substitutions satisfying the planned body.
 
@@ -175,7 +244,11 @@ def match_plan(
     matched row of the literal at *original* body index *i* (used for
     provenance).  When *delta_rows* is given, the first plan step is
     matched against exactly those rows instead of the stored relation —
-    this is the semi-naive delta position.
+    this is the semi-naive delta position.  With ``use_indexes=False``
+    every probe of a stored relation enumerates the whole relation and
+    filters (the pre-index seed behaviour, kept as the ``--no-index``
+    baseline); ``stats.rows_scanned`` then counts every enumerated row,
+    matching or not.
     """
     n = len(plans)
     body_rows: list = [None] * n
@@ -192,7 +265,17 @@ def match_plan(
             if rel is None:
                 return
             stats.join_probes += 1
-            candidates = rel.lookup(plan.bound_positions, plan.key_for(subst))
+            if not plan.bound_positions:
+                # no binding available: a full scan is the only option
+                # (snapshot: the head relation may be the one scanned)
+                stats.scan_fallbacks += 1
+                candidates = list(rel)
+            elif use_indexes:
+                stats.index_probes += 1
+                candidates = rel.lookup(plan.bound_positions, plan.key_for(subst))
+            else:
+                stats.scan_fallbacks += 1
+                candidates = _scan_filter(plan, rel, plan.key_for(subst), stats)
         for row in candidates:
             stats.rows_scanned += 1
             extended = plan.bind(row, subst)
@@ -200,6 +283,11 @@ def match_plan(
                 continue
             body_rows[i] = (plan.body_index, row)
             yield from step(i + 1, extended)
+            if plan.existential:
+                # one witness is enough: every further candidate binds
+                # only dead variables, replaying identical downstream
+                # work (and identical head facts) per extra row
+                return
 
     start = dict(subst) if subst else {}
     for final_subst, rows in step(0, start):
@@ -209,8 +297,24 @@ def match_plan(
         yield final_subst, tuple(ordered)
 
 
+def _scan_filter(plan: LiteralPlan, rel, key: tuple, stats: EvalStats):
+    """Enumerate *rel* fully, yielding rows matching the bound
+    positions.  Rejected rows are charged to ``rows_scanned`` here
+    (delivered rows are charged by the caller), so the counter reflects
+    the full scan the missing index forced."""
+    positions = plan.bound_positions
+    for row in list(rel):
+        if all(row[p] == key[i] for i, p in enumerate(positions)):
+            yield row
+        else:
+            stats.rows_scanned += 1
+
+
 def _filter_rows(plan: LiteralPlan, rows: frozenset, subst: dict, stats: EvalStats):
-    """Rows from an explicit set matching the plan's bound positions."""
+    """Rows from an explicit delta set matching the plan's bound
+    positions.  The delta frontier is enumerated in full by design —
+    that is the semi-naive discipline — so this is neither an index
+    probe nor a scan fallback."""
     stats.join_probes += 1
     if not plan.bound_positions:
         return list(rows)

@@ -34,6 +34,15 @@ class EvalStats:
     join_probes: int = 0
     #: Rows enumerated from relations while matching body literals.
     rows_scanned: int = 0
+    #: Probes answered by a hash index on the literal's bound positions
+    #: (a subset of ``join_probes``).
+    index_probes: int = 0
+    #: Hash indexes materialized lazily during the run.
+    index_builds: int = 0
+    #: Probes that fell back to a full relation scan — either because
+    #: no argument position was bound when the literal was reached, or
+    #: because indexing was disabled (``EngineOptions.use_indexes``).
+    scan_fallbacks: int = 0
     #: Boolean (cut) rules retired before the fixpoint finished.
     rules_retired: int = 0
     #: Facts per derived predicate at fixpoint.
@@ -44,6 +53,19 @@ class EvalStats:
         """Total head instantiations (new facts plus duplicates)."""
         return self.facts_derived + self.duplicates
 
+    @property
+    def join_work(self) -> int:
+        """Rows enumerated plus index probes — the quantity the
+        indexed-engine monotonicity regression bounds against the
+        scanning baseline."""
+        return self.rows_scanned + self.index_probes
+
+    @property
+    def probe_ratio(self) -> float:
+        """Fraction of probes answered by an index (1.0 = no scans)."""
+        total = self.index_probes + self.scan_fallbacks
+        return self.index_probes / total if total else 0.0
+
     def merge(self, other: "EvalStats") -> None:
         """Accumulate another run's counters into this one."""
         self.iterations += other.iterations
@@ -52,6 +74,9 @@ class EvalStats:
         self.rule_firings += other.rule_firings
         self.join_probes += other.join_probes
         self.rows_scanned += other.rows_scanned
+        self.index_probes += other.index_probes
+        self.index_builds += other.index_builds
+        self.scan_fallbacks += other.scan_fallbacks
         self.rules_retired += other.rules_retired
         for k, v in other.fact_counts.items():
             self.fact_counts[k] = self.fact_counts.get(k, 0) + v
@@ -62,5 +87,6 @@ class EvalStats:
             f"iters={self.iterations} facts={self.facts_derived} "
             f"dups={self.duplicates} firings={self.rule_firings} "
             f"probes={self.join_probes} scanned={self.rows_scanned} "
-            f"retired={self.rules_retired}"
+            f"idx={self.index_probes} builds={self.index_builds} "
+            f"fallbacks={self.scan_fallbacks} retired={self.rules_retired}"
         )

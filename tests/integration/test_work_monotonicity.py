@@ -1,0 +1,115 @@
+"""Work monotonicity of the indexed engine against the scan baseline.
+
+The indexed semi-naive engine must never do more join work than the
+pre-index seed engine (semi-naive over full scans, today reachable via
+``use_indexes=False``): its ``rows_scanned + index_probes`` is bounded
+by the scan engine's ``rows_scanned`` on every workload — an index
+probe replaces at least one scanned row.
+
+The expected counter values are frozen in
+``tests/data/work_baseline.json`` so silent regressions (a planner
+change that degrades an order, an index that stops being used) fail
+loudly.  To regenerate after an *intentional* engine change, run::
+
+    PYTHONPATH=src python tests/integration/test_work_monotonicity.py
+
+which rewrites the JSON from the current engines (the workload
+definitions below are the single source of truth).
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.engine import EngineOptions, evaluate
+from repro.workloads.edb import random_edb
+from repro.workloads.families import all_families
+
+BASELINE_PATH = Path(__file__).parent.parent / "data" / "work_baseline.json"
+
+CASES = [
+    "right_linear_tc",
+    "left_linear_tc",
+    "nonlinear_tc",
+    "same_generation",
+    "payload2",
+    "two_level_chain",
+]
+ROWS, DOMAIN, SEED = 20, 8, 3
+
+
+def _run_case(name):
+    program = all_families()[name]
+    db = random_edb(program, rows=ROWS, domain=DOMAIN, seed=SEED)
+    indexed = evaluate(program, db)
+    scan = evaluate(program, db, EngineOptions(use_indexes=False))
+    return indexed, scan
+
+
+def _baseline() -> dict:
+    with open(BASELINE_PATH) as f:
+        return json.load(f)
+
+
+@pytest.mark.parametrize("name", CASES)
+def test_indexed_join_work_bounded_by_scan_rows(name):
+    indexed, scan = _run_case(name)
+    assert indexed.answers() == scan.answers()
+    assert indexed.stats.join_work <= scan.stats.rows_scanned, (
+        f"{name}: indexed engine did {indexed.stats.join_work} join work "
+        f"vs {scan.stats.rows_scanned} rows for the scan baseline"
+    )
+
+
+@pytest.mark.parametrize("name", CASES)
+def test_work_counters_match_frozen_baseline(name):
+    """Exact pin: both engines reproduce the recorded counters.
+
+    A failure here means engine work characteristics changed — fine if
+    intentional (regenerate the baseline, see module docstring), a
+    regression if not.
+    """
+    baseline = _baseline()[name]
+    indexed, scan = _run_case(name)
+    assert scan.stats.rows_scanned == baseline["scan_rows_scanned"], name
+    assert indexed.stats.rows_scanned == baseline["indexed_rows_scanned"], name
+    assert indexed.stats.index_probes == baseline["indexed_index_probes"], name
+    assert indexed.stats.join_work == baseline["indexed_join_work"], name
+
+
+def test_baseline_covers_all_cases():
+    baseline = _baseline()
+    assert set(CASES) <= set(baseline), sorted(set(CASES) - set(baseline))
+    meta = baseline["_meta"]
+    assert (meta["rows"], meta["domain"], meta["seed"]) == (ROWS, DOMAIN, SEED)
+
+
+def _regenerate():  # pragma: no cover - manual tool
+    out = {
+        "_meta": {
+            "rows": ROWS,
+            "domain": DOMAIN,
+            "seed": SEED,
+            "note": "scan = seminaive with use_indexes=False (the pre-index "
+            "seed engine); regenerate per the instructions in "
+            "tests/integration/test_work_monotonicity.py",
+        }
+    }
+    for name in CASES:
+        indexed, scan = _run_case(name)
+        out[name] = {
+            "scan_rows_scanned": scan.stats.rows_scanned,
+            "indexed_rows_scanned": indexed.stats.rows_scanned,
+            "indexed_index_probes": indexed.stats.index_probes,
+            "indexed_join_work": indexed.stats.join_work,
+        }
+        print(name, out[name])
+    with open(BASELINE_PATH, "w") as f:
+        json.dump(out, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {BASELINE_PATH}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    _regenerate()

@@ -1,0 +1,94 @@
+"""The differential-testing oracle: one program, many evaluators.
+
+Every engine in the repo claims to compute the same thing — the answer
+set of a query over a database.  The oracle exploits that redundancy:
+evaluate a program under every applicable strategy, before and after
+the optimization pipeline, and assert the answer sets are identical.
+Any single unsound component (an index that drops rows, a delta plan
+that misses a derivation, a pipeline pass that changes the query)
+breaks the agreement and is reported with the strategy that diverged.
+
+Strategies covered:
+
+``naive``
+    Bottom-up, full re-evaluation each round.
+``seminaive``
+    Bottom-up with delta-rule specialization and hash indexes — the
+    default production engine.
+``seminaive-scan``
+    The same semi-naive loop forced onto full scans
+    (``use_indexes=False``, the CLI's ``--no-index``), so index probe
+    answering is differentially tested against plain filtering.
+``topdown``
+    The tabled top-down (QSQR) evaluator — a completely independent
+    implementation; skipped for programs with negation, which it does
+    not support.
+
+Each strategy also runs on the *optimized* program (answers projected
+onto the original query's needed positions), so the pipeline is tested
+against every engine, not just the default one.
+"""
+
+from __future__ import annotations
+
+from repro.core import optimize
+from repro.datalog import Database, Program
+from repro.engine import EngineOptions, evaluate
+from repro.engine.topdown import evaluate_topdown
+
+__all__ = ["STRATEGIES", "strategy_answers", "assert_all_agree"]
+
+#: label -> EngineOptions overrides for the bottom-up engine
+STRATEGIES: dict[str, dict] = {
+    "naive": {"strategy": "naive"},
+    "seminaive": {},
+    "seminaive-scan": {"use_indexes": False},
+}
+
+
+def strategy_answers(program: Program, db: Database) -> dict[str, frozenset]:
+    """Answer sets of *program* over *db* per evaluation strategy."""
+    out = {
+        label: evaluate(program, db, EngineOptions(**overrides)).answers()
+        for label, overrides in STRATEGIES.items()
+    }
+    if not program.has_negation():
+        out["topdown"] = evaluate_topdown(program, db).answers
+    return out
+
+
+def _assert_agree(answers: dict[str, frozenset], context: str) -> None:
+    baseline_label, baseline = next(iter(answers.items()))
+    for label, got in answers.items():
+        assert got == baseline, (
+            f"{context}: strategy {label!r} computed {len(got)} answers "
+            f"but {baseline_label!r} computed {len(baseline)}; "
+            f"only-in-{label}={sorted(got - baseline)[:5]} "
+            f"only-in-{baseline_label}={sorted(baseline - got)[:5]}"
+        )
+
+
+def assert_all_agree(program: Program, db: Database) -> frozenset:
+    """The full differential check; returns the agreed answer set.
+
+    1. every strategy agrees on the *original* program;
+    2. every bottom-up strategy agrees on the *optimized* program;
+    3. optimized answers equal the original answers projected onto the
+       query's needed positions (``reference_answers``).
+    """
+    pre = strategy_answers(program, db)
+    _assert_agree(pre, "pre-optimizer")
+
+    result = optimize(program)
+    post = {
+        label: result.answers(db, **overrides)
+        for label, overrides in STRATEGIES.items()
+    }
+    _assert_agree(post, "post-optimizer")
+
+    reference = result.reference_answers(db)
+    assert post["seminaive"] == reference, (
+        f"optimizer changed the answers: optimized={len(post['seminaive'])} "
+        f"reference={len(reference)}"
+    )
+    return reference

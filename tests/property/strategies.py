@@ -1,14 +1,64 @@
-"""Hypothesis strategies shared by the property-based tests."""
+"""Hypothesis strategies shared by the property-based tests (and the
+differential oracle suite in tests/oracle)."""
 
 from __future__ import annotations
 
 from hypothesis import strategies as st
 
 from repro.datalog import Database
+from repro.datalog.ast import Atom, Program, Rule
+from repro.datalog.terms import Variable
 from repro.grammar.cfg import Grammar, Production
 
 NONTERMINALS = ["s", "t"]
 TERMINALS = ["e", "f"]
+
+#: signature pool for random_programs(): derived and base predicates
+DERIVED = [("q", 2), ("r", 2), ("s", 1)]
+BASE = [("e", 2), ("f", 1), ("g", 3)]
+VARS = [Variable(n) for n in ("X", "Y", "Z", "W", "V")]
+
+
+@st.composite
+def random_rules(draw):
+    """One safe rule over the DERIVED/BASE signature — mixed arities,
+    shared variables, possible recursion through any derived head."""
+    head_pred, head_arity = draw(st.sampled_from(DERIVED))
+    body_len = draw(st.integers(min_value=1, max_value=3))
+    body = []
+    pool = []
+    for _ in range(body_len):
+        pred, arity = draw(st.sampled_from(BASE + DERIVED))
+        args = tuple(draw(st.sampled_from(VARS)) for _ in range(arity))
+        body.append(Atom(pred, args))
+        pool.extend(args)
+    # a guaranteed base literal keeps every rule's recursion grounded
+    # often enough to be interesting without being vacuous
+    if all(a.predicate in dict(DERIVED) for a in body):
+        args = tuple(draw(st.sampled_from(VARS)) for _ in range(2))
+        body.append(Atom("e", args))
+        pool.extend(args)
+    head_args = tuple(draw(st.sampled_from(pool)) for _ in range(head_arity))
+    return Rule(Atom(head_pred, head_args), tuple(body))
+
+
+@st.composite
+def random_programs(draw):
+    """An unrestricted safe Datalog program with an existential query.
+
+    The broadest program space in the suite: any unsound engine or
+    pipeline transformation shows up as a falsifying example here.
+    """
+    rules = tuple(
+        draw(random_rules())
+        for _ in range(draw(st.integers(min_value=2, max_value=5)))
+    )
+    # query an existing derived predicate, second position existential
+    heads = [(r.head.predicate, r.head.arity) for r in rules]
+    pred, arity = draw(st.sampled_from(heads))
+    args = [Variable("QX")] + [Variable(f"_{i}") for i in range(1, arity)]
+    query = Atom(pred, tuple(args[:arity]))
+    return Program(rules, query)
 
 
 @st.composite

@@ -12,51 +12,11 @@ deletion shows up here as a falsifying program.
 from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
-from repro.datalog import Database, Program
-from repro.datalog.ast import Atom, Rule
-from repro.datalog.terms import Constant, Variable
 from repro.engine import evaluate
 from repro.core import optimize
 from repro.workloads.edb import random_edb
 
-DERIVED = [("q", 2), ("r", 2), ("s", 1)]
-BASE = [("e", 2), ("f", 1), ("g", 3)]
-VARS = [Variable(n) for n in ("X", "Y", "Z", "W", "V")]
-
-
-@st.composite
-def random_rules(draw):
-    head_pred, head_arity = draw(st.sampled_from(DERIVED))
-    body_len = draw(st.integers(min_value=1, max_value=3))
-    body = []
-    pool = []
-    for _ in range(body_len):
-        pred, arity = draw(st.sampled_from(BASE + DERIVED))
-        args = tuple(draw(st.sampled_from(VARS)) for _ in range(arity))
-        body.append(Atom(pred, args))
-        pool.extend(args)
-    # a guaranteed base literal keeps every rule's recursion grounded
-    # often enough to be interesting without being vacuous
-    if all(a.predicate in dict(DERIVED) for a in body):
-        args = tuple(draw(st.sampled_from(VARS)) for _ in range(2))
-        body.append(Atom("e", args))
-        pool.extend(args)
-    head_args = tuple(draw(st.sampled_from(pool)) for _ in range(head_arity))
-    return Rule(Atom(head_pred, head_args), tuple(body))
-
-
-@st.composite
-def random_programs(draw):
-    rules = tuple(
-        draw(random_rules())
-        for _ in range(draw(st.integers(min_value=2, max_value=5)))
-    )
-    # query an existing derived predicate, second position existential
-    heads = [(r.head.predicate, r.head.arity) for r in rules]
-    pred, arity = draw(st.sampled_from(heads))
-    args = [Variable("QX")] + [Variable(f"_{i}") for i in range(1, arity)]
-    query = Atom(pred, tuple(args[:arity]))
-    return Program(rules, query)
+from .strategies import random_programs
 
 
 @given(random_programs(), st.integers(min_value=0, max_value=4))

@@ -34,7 +34,9 @@ def projections(draw, left, right):
 
 def full_composite_summary(chain):
     """Reference: connectivity over the whole composite graph, with all
-    middle literals' nodes merged at once."""
+    middle literals' nodes merged at once.  Emits the same canonical
+    form as pairwise composition: cross edges plus *hidden* same-side
+    links (connected end pairs the cross edges alone don't imply)."""
     parent = {}
 
     def find(x):
@@ -52,16 +54,53 @@ def full_composite_summary(chain):
     for level, proj in enumerate(chain):
         for i, j in proj.edges:
             union((level, i), (level + 1, j))
+        for a, b in proj.left_links:
+            union((level, a), (level, b))
+        for a, b in proj.right_links:
+            union((level + 1, a), (level + 1, b))
     n = len(chain)
-    left_nodes = {i for i, _ in chain[0].edges}
-    right_nodes = {k for _, k in chain[-1].edges}
+    left_nodes = chain[0].left_nodes()
+    right_nodes = chain[-1].right_nodes()
     edges = frozenset(
         (i, k)
         for i in left_nodes
         for k in right_nodes
         if find((0, i)) == find((n, k))
     )
-    return ArgumentProjection(chain[0].left, chain[-1].right, edges)
+    implied = {}
+
+    def ifind(x):
+        implied.setdefault(x, x)
+        while implied[x] != x:
+            implied[x] = implied[implied[x]]
+            x = implied[x]
+        return x
+
+    def iunion(x, y):
+        rx, ry = ifind(x), ifind(y)
+        if rx != ry:
+            implied[rx] = ry
+
+    for i, k in edges:
+        iunion((0, i), (n, k))
+
+    def hidden(nodes, level):
+        ordered = sorted(nodes)
+        return frozenset(
+            (a, b)
+            for x, a in enumerate(ordered)
+            for b in ordered[x + 1 :]
+            if find((level, a)) == find((level, b))
+            and ifind((level, a)) != ifind((level, b))
+        )
+
+    return ArgumentProjection(
+        chain[0].left,
+        chain[-1].right,
+        edges,
+        hidden(left_nodes, 0),
+        hidden(right_nodes, n),
+    )
 
 
 @given(projections("a", "b"), projections("b", "c"), projections("c", "d"))
