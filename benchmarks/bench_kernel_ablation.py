@@ -1,0 +1,62 @@
+"""Experiment KX — compiled rule kernels vs the plan interpreter.
+
+The kernel compiler (:mod:`repro.engine.kernel`) claims the join hot
+path gets measurably faster while every observable — answers, fact
+counts, work counters, provenance — stays bit-identical.  This bench
+measures the wall-clock side of that claim on the two workloads the
+tentpole targets (Example 3's dense transitive closure and the
+payload-k arity sweep), with the identity side asserted in the bench
+body via :func:`harness.kernel_ablation` so a divergence fails the
+suite instead of skewing a table.
+
+Run with::
+
+    pytest benchmarks/bench_kernel_ablation.py --benchmark-only
+"""
+
+import pytest
+
+from harness import Workload, kernel_ablation
+
+import bench_arity_sweep as p5
+import bench_example3_projection as e3
+
+
+def workloads():
+    original, _ = e3.programs()
+    n = e3.SIZES[-1]
+    return {
+        "e3-binary-tc": Workload(f"e3 binary TC V={n}", original, e3.make_db(n)),
+        "p5-payload-k2": Workload(
+            "p5 payload k=2", p5.program_with_payload(2), p5.make_db(2)
+        ),
+    }
+
+
+@pytest.mark.parametrize("name", sorted(workloads()))
+def test_kernel_engine(benchmark, name):
+    wl = workloads()[name]
+    benchmark.group = f"kernel ablation {name}"
+    result = benchmark(wl.run)
+    assert result.stats.kernel_launches > 0
+
+
+@pytest.mark.parametrize("name", sorted(workloads()))
+def test_interpreter_engine(benchmark, name):
+    wl = workloads()[name].interpreter_baseline()
+    benchmark.group = f"kernel ablation {name}"
+    result = benchmark(wl.run)
+    assert result.stats.kernel_launches == 0
+
+
+@pytest.mark.parametrize("name", sorted(workloads()))
+def test_kernel_preserves_all_work_counters(benchmark, name):
+    """The identity half of the claim, exercised under the benchmark
+    harness: kernels must not change a single work counter."""
+    wl = workloads()[name]
+    kernel_stats, interp_stats = benchmark.pedantic(
+        lambda: kernel_ablation(wl), rounds=1, iterations=1
+    )
+    assert kernel_stats.as_dict(engine_invariant=True) == interp_stats.as_dict(
+        engine_invariant=True
+    )

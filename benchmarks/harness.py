@@ -22,7 +22,14 @@ from dataclasses import dataclass, replace
 from repro.datalog import Database, Program
 from repro.engine import EngineOptions, EvalStats, evaluate
 
-__all__ = ["measure", "Workload", "summarize", "index_ablation", "join_work_line"]
+__all__ = [
+    "measure",
+    "Workload",
+    "summarize",
+    "index_ablation",
+    "kernel_ablation",
+    "join_work_line",
+]
 
 
 @dataclass
@@ -45,6 +52,14 @@ class Workload:
             options=replace(self.options, use_indexes=False),
         )
 
+    def interpreter_baseline(self) -> "Workload":
+        """The same workload on the plan interpreter (``--no-kernel``)."""
+        return replace(
+            self,
+            label=f"{self.label} (interp)",
+            options=replace(self.options, use_kernels=False),
+        )
+
 
 def measure(workload: Workload) -> EvalStats:
     """Evaluate once and return the work counters."""
@@ -65,6 +80,28 @@ def index_ablation(workload: Workload) -> tuple[EvalStats, EvalStats]:
         f"{workload.label}: indexed and scan engines disagree"
     )
     return indexed.stats, scan.stats
+
+
+def kernel_ablation(workload: Workload) -> tuple[EvalStats, EvalStats]:
+    """Run *workload* on compiled kernels and on the interpreter.
+
+    Returns ``(kernel, interpreter)`` stats after asserting the two
+    paths computed identical fixpoints *and* identical work counters —
+    the kernels' core contract, enforced at the point of measurement.
+    Each path runs on its own copy of the database so index warmth
+    carried on shared base relations cannot skew ``index_builds``.
+    """
+    kernel = replace(workload, db=workload.db.copy()).run()
+    interp = replace(
+        workload.interpreter_baseline(), db=workload.db.copy()
+    ).run()
+    assert kernel.stats.fact_counts == interp.stats.fact_counts, (
+        f"{workload.label}: kernel and interpreter engines disagree"
+    )
+    assert kernel.stats.as_dict(engine_invariant=True) == interp.stats.as_dict(
+        engine_invariant=True
+    ), f"{workload.label}: kernel changed the work counters"
+    return kernel.stats, interp.stats
 
 
 def summarize(label: str, stats: EvalStats) -> str:

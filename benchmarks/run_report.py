@@ -13,6 +13,7 @@ Usage::
 
 from __future__ import annotations
 
+import json
 import sys
 import time
 from pathlib import Path
@@ -213,6 +214,84 @@ def report_ix() -> None:
     )
 
 
+#: machine-readable engine trajectory, regenerated by report_engine()
+#: and committed so future engine PRs have a baseline to diff against
+ENGINE_JSON = Path(__file__).parent / "BENCH_engine.json"
+
+#: per-family engine configurations: compiled kernels (default engine),
+#: the plan interpreter (--no-kernel), and the scan baseline (--no-index)
+ENGINE_CONFIGS = {
+    "kernel": {},
+    "interpreter": {"use_kernels": False},
+    "no-index": {"use_indexes": False, "use_kernels": False},
+}
+
+
+def _engine_families():
+    original, _ = e3.programs()
+    n = e3.SIZES[-1]
+    fams = {f"e3-binary-tc-V{n}": (original, lambda n=n: e3.make_db(n))}
+    for k in (0, 1, 2):
+        fams[f"p5-arity-k{k}"] = (
+            p5.program_with_payload(k),
+            lambda k=k: p5.make_db(k),
+        )
+    return fams
+
+
+def report_engine() -> None:
+    """Kernel / interpreter / scan ablation; writes BENCH_engine.json.
+
+    Every configuration of a family must reach the same fixpoint; a
+    fact-count divergence is reported through the same gate as the
+    optimizer regressions.
+    """
+    payload = {
+        "_meta": {
+            "configs": {
+                name: (overrides or "engine defaults")
+                for name, overrides in ENGINE_CONFIGS.items()
+            },
+            "note": "wall-clock is one warmed run on this machine; the "
+            "work counters are deterministic and the quantities to "
+            "diff across PRs",
+        }
+    }
+    rows = []
+    for family, (program, make_db) in _engine_families().items():
+        payload[family] = {}
+        fact_counts = {}
+        times = {}
+        for config, overrides in ENGINE_CONFIGS.items():
+            db = make_db()  # fresh (cold) database per configuration
+            opts = EngineOptions(**overrides)
+            ms, res = timed(lambda p=program, d=db, o=opts: evaluate(p, d, o))
+            times[config] = ms
+            fact_counts[config] = res.stats.facts_derived
+            payload[family][config] = {
+                "wall_ms": round(ms, 3),
+                **res.stats.as_dict(),
+            }
+            rows.append([family, config, fmt(ms), res.stats.facts_derived,
+                         res.stats.rows_scanned, res.stats.kernel_launches])
+        for config in ("interpreter", "no-index"):
+            check_no_extra_facts(
+                "engine", f"kernel vs {config} on {family}",
+                fact_counts["kernel"], fact_counts[config],
+            )
+        speedup = times["interpreter"] / max(times["kernel"], 1e-9)
+        rows.append([family, "=> kernel speedup", f"x{speedup:.1f}", "", "", ""])
+    with open(ENGINE_JSON, "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.write("\n")
+    table(
+        "ENGINE — compiled kernels vs interpreter vs scans",
+        ["family", "config", "time", "facts", "rows scanned", "kernels"],
+        rows,
+    )
+    print(f"(wrote {ENGINE_JSON.name})")
+
+
 REPORTS = {
     "e2": report_e2,
     "e3": report_e3,
@@ -222,6 +301,7 @@ REPORTS = {
     "p5": report_p5,
     "td": report_td,
     "ix": report_ix,
+    "engine": report_engine,
 }
 
 

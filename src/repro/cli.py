@@ -72,13 +72,13 @@ def _cmd_optimize(args) -> int:
 def _cmd_run(args) -> int:
     program = _load_program(args.program)
     db = _load_facts(args.facts)
-    use_indexes = not args.no_index
+    engine = dict(use_indexes=not args.no_index, use_kernels=not args.no_kernel)
     if args.optimize:
         result = optimize(program)
-        evaluation = result.evaluate(db, use_indexes=use_indexes)
-        answers = result.answers(db)
+        evaluation = result.evaluate(db, **engine)
+        answers = result.answers(db, **engine)
     else:
-        evaluation = evaluate(program, db, EngineOptions(use_indexes=use_indexes))
+        evaluation = evaluate(program, db, EngineOptions(**engine))
         answers = evaluation.answers()
     for row in sorted(answers, key=repr):
         print(", ".join(map(str, row)))
@@ -167,6 +167,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="answer probes by full scans instead of hash indexes "
         "(the baseline engine; answers are identical, only work differs)",
+    )
+    p_run.add_argument(
+        "--no-kernel",
+        action="store_true",
+        help="evaluate rule bodies with the plan interpreter instead of "
+        "compiled kernels (the differential oracle; answers, provenance "
+        "and work counters are identical, only wall-clock differs)",
     )
     p_run.set_defaults(fn=_cmd_run)
 

@@ -121,7 +121,23 @@ class Relation:
         return self.index_for(positions).get(tuple(key), [])
 
     def copy(self) -> "Relation":
-        return Relation(self.arity, self._rows)
+        """An independent copy carrying the materialized indexes.
+
+        Rows and per-key posting lists are copied (cheap: the tuples
+        themselves are shared), so the copy starts with every index the
+        original had built instead of rebuilding them lazily from
+        scratch.  The copy's ``index_builds`` counter starts at zero —
+        carried indexes were not built by the copy.
+        """
+        out = Relation.__new__(Relation)
+        out.arity = self.arity
+        out._rows = set(self._rows)
+        out._indexes = {
+            positions: {key: list(rows) for key, rows in index.items()}
+            for positions, index in self._indexes.items()
+        }
+        out.index_builds = 0
+        return out
 
     def __eq__(self, other) -> bool:
         if not isinstance(other, Relation):
@@ -241,8 +257,25 @@ class Database:
         """All constant values occurring anywhere in the database."""
         return frozenset(v for _, row in self.facts() for v in row)
 
-    def copy(self) -> "Database":
-        return Database(self._relations)
+    def copy(self, mutating: Optional[Iterable[str]] = None) -> "Database":
+        """An independent copy (indexes carried, see :meth:`Relation.copy`).
+
+        With *mutating* given, only the named relations are copied;
+        every other relation object is **shared by reference**.  This
+        is the evaluation-engine fast path: the fixpoint loop inserts
+        only into rule-head relations, so base relations can be shared
+        — and any hash index built lazily on a shared relation during
+        one evaluation stays materialized for the next one over the
+        same database.  Callers who may mutate arbitrary relations must
+        use the default full copy.
+        """
+        if mutating is None:
+            return Database(self._relations)
+        mutable = set(mutating)
+        out = Database()
+        for name, rel in self._relations.items():
+            out._relations[name] = rel.copy() if name in mutable else rel
+        return out
 
     def merged_with(self, other: "Database") -> "Database":
         """A new database containing the facts of both operands."""

@@ -15,7 +15,14 @@ Public entry point: :func:`evaluate`.
 """
 
 from .evaluator import EngineOptions, EvalResult, answers_of, evaluate
-from .plan import CompiledRule, LiteralPlan, compile_rule, order_body
+from .kernel import (
+    KernelError,
+    clear_kernel_cache,
+    kernel_cache_stats,
+    kernel_source,
+    rule_kernel,
+)
+from .plan import CompiledRule, DeltaIndex, LiteralPlan, compile_rule, order_body
 from .provenance import DerivationTree, Justification, derivation_tree
 from .statistics import EvalStats
 from .topdown import TopDownResult, evaluate_topdown
@@ -26,9 +33,15 @@ __all__ = [
     "evaluate",
     "answers_of",
     "CompiledRule",
+    "DeltaIndex",
     "LiteralPlan",
     "compile_rule",
     "order_body",
+    "KernelError",
+    "kernel_source",
+    "rule_kernel",
+    "kernel_cache_stats",
+    "clear_kernel_cache",
     "DerivationTree",
     "Justification",
     "derivation_tree",

@@ -30,7 +30,8 @@ from ..datalog.builtins import eval_builtin
 from ..datalog.database import Database
 from ..datalog.errors import EvaluationError, ValidationError
 from ..datalog.terms import Constant, Variable
-from .plan import CompiledRule, compile_rule, match_plan
+from .kernel import rule_kernel
+from .plan import CompiledRule, DeltaIndex, compile_rule, match_plan
 from .provenance import DerivationTree, Justification, derivation_tree
 from .statistics import EvalStats
 
@@ -52,6 +53,14 @@ class EngineOptions:
         relation scan plus filter — the ``--no-index`` baseline the
         work-monotonicity regression measures against.  Answers are
         identical either way; only the work counters differ.
+    use_kernels
+        Evaluate rule bodies with compiled kernels (default): each
+        join plan is code-generated once into a flat loop nest with
+        slot-based registers (:mod:`repro.engine.kernel`) instead of
+        the recursive plan interpreter.  ``False`` (the CLI's
+        ``--no-kernel``) keeps the interpreter, which is retained as
+        the differential oracle — answers, provenance, and every work
+        counter except ``kernel_launches`` are bit-identical.
     record_provenance
         Record a first justification per derived fact, enabling
         :meth:`EvalResult.derivation`.
@@ -65,6 +74,7 @@ class EngineOptions:
     strategy: str = "seminaive"
     cut_predicates: frozenset[str] = frozenset()
     use_indexes: bool = True
+    use_kernels: bool = True
     record_provenance: bool = False
     max_iterations: Optional[int] = None
 
@@ -144,13 +154,19 @@ def evaluate(
 ) -> EvalResult:
     """Compute the least fixpoint of *program* over *edb*.
 
-    The input database is not modified; derived facts accumulate in a
-    copy.  Facts already present for derived predicates are kept (the
-    uniform-equivalence input convention).
+    The input database is not modified by evaluation; derived facts
+    accumulate in a working database that *shares* the relations of
+    predicates no rule can write (base relations) and copies the rest.
+    Sharing means hash indexes built lazily over base relations stay
+    materialized on *edb* itself, so a second ``evaluate`` over the
+    same database starts warm instead of rebuilding every index from
+    scratch.  Facts already present for derived predicates are kept
+    (the uniform-equivalence input convention).
     """
     opts = options or EngineOptions()
     program.validate()
-    db = edb.copy()
+    db = edb.copy(mutating=program.idb_predicates())
+    builds_before = db.index_builds()
     stats = EvalStats()
     provenance: dict = {}
 
@@ -206,9 +222,9 @@ def evaluate(
 
     for pred in program.idb_predicates():
         stats.fact_counts[pred] = len(db.rows(pred))
-    # db is a private copy, so every lazy build on its relations
-    # happened during this run.
-    stats.index_builds = db.index_builds()
+    # Shared base relations may carry builds from earlier runs (that is
+    # the point of sharing them); only builds during this run count.
+    stats.index_builds = db.index_builds() - builds_before
     return EvalResult(program, db, stats, provenance)
 
 
@@ -234,20 +250,64 @@ class _Retirer:
 
 def _fire(
     cr: CompiledRule,
-    plans,
+    plan_id: Optional[int],
     db: Database,
     stats: EvalStats,
     provenance: dict,
     opts: EngineOptions,
     added: dict[str, set],
-    delta_rows: Optional[frozenset] = None,
+    delta: Optional[DeltaIndex] = None,
 ) -> None:
-    """Run one plan of one rule, inserting new head facts."""
+    """Run one plan of one rule, inserting new head facts.
+
+    *plan_id* selects the naive plan (``None``) or the delta plan
+    starting at relational literal *plan_id*.  With
+    ``opts.use_kernels`` the plan runs as a compiled kernel (built-ins,
+    negation, and head construction are inside the kernel body); the
+    interpreter below is the fallback and the differential oracle.
+    """
     head_pred = cr.rule.head.predicate
     rel = db.relation(head_pred)
     assert rel is not None
+    if opts.use_kernels:
+        kernel = rule_kernel(
+            cr,
+            plan_id,
+            use_indexes=opts.use_indexes,
+            record_rows=opts.record_provenance,
+        )
+        if kernel is not None:
+            stats.kernel_launches += 1
+            new = added.get(head_pred)
+            if opts.record_provenance:
+                for values, body_rows in kernel(db, stats, delta):
+                    if rel.add(values):
+                        stats.facts_derived += 1
+                        if new is None:
+                            new = added.setdefault(head_pred, set())
+                        new.add(values)
+                        body = tuple(
+                            (atom.predicate, row)
+                            for atom, row in zip(cr.relational_body, body_rows)
+                        )
+                        provenance[(head_pred, values)] = Justification(
+                            cr.rule_index, body
+                        )
+                    else:
+                        stats.duplicates += 1
+            else:
+                for values in kernel(db, stats, delta):
+                    if rel.add(values):
+                        stats.facts_derived += 1
+                        if new is None:
+                            new = added.setdefault(head_pred, set())
+                        new.add(values)
+                    else:
+                        stats.duplicates += 1
+            return
+    plans = cr.plan if plan_id is None else cr.delta_plans[plan_id]
     for subst, body_rows in match_plan(
-        plans, db, stats, delta_rows=delta_rows, use_indexes=opts.use_indexes
+        plans, db, stats, delta_rows=delta, use_indexes=opts.use_indexes
     ):
         if cr.builtins and not _builtins_hold(cr, subst):
             continue
@@ -309,7 +369,7 @@ def _naive_loop(active, db, stats, provenance, opts, retire) -> None:
         _check_budget(stats, opts)
         added: dict[str, set] = {}
         for cr in active:
-            _fire(cr, cr.plan, db, stats, provenance, opts, added)
+            _fire(cr, None, db, stats, provenance, opts, added)
         active = retire.filter(active, db)
         if not any(added.values()):
             return
@@ -341,30 +401,33 @@ def _seminaive_loop(active, db, stats, provenance, opts, retire) -> None:
     _check_budget(stats, opts)
     delta: dict[str, set] = {}
     for cr in active:
-        _fire(cr, cr.plan, db, stats, provenance, opts, delta)
+        _fire(cr, None, db, stats, provenance, opts, delta)
     active = retire.filter(active, db)
 
     alive = set(map(id, active))
     while any(delta.values()):
         _check_budget(stats, opts)
-        previous = {p: frozenset(rows) for p, rows in delta.items() if rows}
+        # One shared DeltaIndex per changed predicate: every rule
+        # specialization probing that frontier this round reuses the
+        # same lazily built position groupings.
+        previous = {p: DeltaIndex(rows) for p, rows in delta.items() if rows}
         delta = {}
         for cr, delta_literals in specializations:
             if id(cr) not in alive:
                 continue
             for i, predicate in delta_literals:
-                rows = previous.get(predicate)
-                if not rows:
+                frontier = previous.get(predicate)
+                if frontier is None:
                     continue
                 _fire(
                     cr,
-                    cr.delta_plans[i],
+                    i,
                     db,
                     stats,
                     provenance,
                     opts,
                     delta,
-                    delta_rows=rows,
+                    delta=frontier,
                 )
         active = retire.filter(active, db)
         alive = set(map(id, active))

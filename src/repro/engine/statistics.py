@@ -45,6 +45,11 @@ class EvalStats:
     scan_fallbacks: int = 0
     #: Boolean (cut) rules retired before the fixpoint finished.
     rules_retired: int = 0
+    #: Compiled rule-kernel invocations (0 when the engine ran on the
+    #: interpreter, either by option or by per-rule fallback).  This is
+    #: the only counter allowed to differ between the kernel and
+    #: interpreter paths — everything else is bit-identical.
+    kernel_launches: int = 0
     #: Facts per derived predicate at fixpoint.
     fact_counts: dict[str, int] = field(default_factory=dict)
 
@@ -78,8 +83,38 @@ class EvalStats:
         self.index_builds += other.index_builds
         self.scan_fallbacks += other.scan_fallbacks
         self.rules_retired += other.rules_retired
+        self.kernel_launches += other.kernel_launches
         for k, v in other.fact_counts.items():
             self.fact_counts[k] = self.fact_counts.get(k, 0) + v
+
+    def as_dict(self, *, engine_invariant: bool = False) -> dict:
+        """All counters as a plain dict (for JSON reports and the
+        kernel/interpreter differential tests).
+
+        With ``engine_invariant=True`` the counters that legitimately
+        differ between the kernel and interpreter paths are dropped
+        (``kernel_launches``), leaving exactly the quantities the two
+        paths must agree on bit-for-bit.
+        """
+        out = {
+            "iterations": self.iterations,
+            "facts_derived": self.facts_derived,
+            "duplicates": self.duplicates,
+            "rule_firings": self.rule_firings,
+            "join_probes": self.join_probes,
+            "rows_scanned": self.rows_scanned,
+            "index_probes": self.index_probes,
+            "index_builds": self.index_builds,
+            "scan_fallbacks": self.scan_fallbacks,
+            "rules_retired": self.rules_retired,
+            "kernel_launches": self.kernel_launches,
+            "fact_counts": dict(self.fact_counts),
+            "derivations": self.derivations,
+            "join_work": self.join_work,
+        }
+        if engine_invariant:
+            del out["kernel_launches"]
+        return out
 
     def summary(self) -> str:
         """One-line human-readable summary used by benchmark output."""
@@ -88,5 +123,6 @@ class EvalStats:
             f"dups={self.duplicates} firings={self.rule_firings} "
             f"probes={self.join_probes} scanned={self.rows_scanned} "
             f"idx={self.index_probes} builds={self.index_builds} "
-            f"fallbacks={self.scan_fallbacks} retired={self.rules_retired}"
+            f"fallbacks={self.scan_fallbacks} retired={self.rules_retired} "
+            f"kernels={self.kernel_launches}"
         )

@@ -160,6 +160,45 @@ def test_scan_fallback_charges_full_relation():
     assert scan.stats.scan_fallbacks == 2
 
 
+def test_second_evaluate_reuses_base_relation_indexes():
+    """Regression: evaluate() used to deep-copy the EDB and rebuild
+    every index from scratch on each call.  Base relations are now
+    shared with the working database, so indexes built during one run
+    stay materialized for the next."""
+    program = parse(TC)
+    db = Database.from_dict(DB)
+    first = evaluate(program, db)
+    assert first.stats.index_builds > 0  # cold start builds them
+    built = db.index_builds()
+    assert built > 0  # ... and they persisted onto the input database
+    second = evaluate(program, db)
+    assert db.index_builds() == built  # no EDB index was rebuilt
+    assert second.stats.index_builds < first.stats.index_builds
+    assert second.answers() == first.answers()
+
+
+def test_relation_copy_carries_indexes():
+    rel = Relation(2, [(1, 2), (1, 3), (2, 3)])
+    rel.index_for((0,))
+    clone = rel.copy()
+    assert clone.has_index((0,))
+    assert sorted(clone.lookup((0,), (1,))) == [(1, 2), (1, 3)]
+    assert clone.index_builds == 0  # carried, not rebuilt
+    # the carried index is independent of the original
+    clone.add((1, 9))
+    assert sorted(clone.lookup((0,), (1,))) == [(1, 2), (1, 3), (1, 9)]
+    assert sorted(rel.lookup((0,), (1,))) == [(1, 2), (1, 3)]
+
+
+def test_shared_copy_shares_exactly_the_unnamed_relations():
+    db = Database.from_dict({"p": [(1, 2)], "q": [(3,)]})
+    shared = db.copy(mutating={"q"})
+    assert shared.relation("p") is db.relation("p")
+    assert shared.relation("q") is not db.relation("q")
+    shared.add("q", 4)
+    assert db.rows("q") == {(3,)}
+
+
 def test_probe_ratio_property():
     program = parse(TC)
     res = evaluate(program, Database.from_dict(DB))

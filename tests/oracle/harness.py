@@ -13,12 +13,19 @@ Strategies covered:
 ``naive``
     Bottom-up, full re-evaluation each round.
 ``seminaive``
-    Bottom-up with delta-rule specialization and hash indexes — the
-    default production engine.
+    Bottom-up with delta-rule specialization, hash indexes, and
+    compiled rule kernels — the default production engine.
+``seminaive-interp``
+    The same engine on the plan interpreter (``use_kernels=False``,
+    the CLI's ``--no-kernel``), so every generated kernel is
+    differentially tested against the interpreter it replaced.
 ``seminaive-scan``
     The same semi-naive loop forced onto full scans
     (``use_indexes=False``, the CLI's ``--no-index``), so index probe
     answering is differentially tested against plain filtering.
+``seminaive-scan-interp``
+    Scans and the interpreter together — the seed engine's behaviour,
+    covering the scan-mode codegen as well.
 ``topdown``
     The tabled top-down (QSQR) evaluator — a completely independent
     implementation; skipped for programs with negation, which it does
@@ -42,7 +49,9 @@ __all__ = ["STRATEGIES", "strategy_answers", "assert_all_agree"]
 STRATEGIES: dict[str, dict] = {
     "naive": {"strategy": "naive"},
     "seminaive": {},
+    "seminaive-interp": {"use_kernels": False},
     "seminaive-scan": {"use_indexes": False},
+    "seminaive-scan-interp": {"use_indexes": False, "use_kernels": False},
 }
 
 
