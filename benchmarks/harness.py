@@ -28,6 +28,7 @@ __all__ = [
     "summarize",
     "index_ablation",
     "kernel_ablation",
+    "scheduler_ablation",
     "join_work_line",
 ]
 
@@ -102,6 +103,27 @@ def kernel_ablation(workload: Workload) -> tuple[EvalStats, EvalStats]:
         engine_invariant=True
     ), f"{workload.label}: kernel changed the work counters"
     return kernel.stats, interp.stats
+
+
+def scheduler_ablation(workload: Workload) -> tuple[EvalStats, EvalStats]:
+    """Run *workload* under SCC scheduling and the monolithic loop.
+
+    Returns ``(scheduled, monolithic)`` stats after asserting both
+    reached the identical fixpoint.  Each path runs on its own copy of
+    the database so index warmth on shared base relations cannot skew
+    ``index_builds``.
+    """
+    scheduled = replace(workload, db=workload.db.copy()).run()
+    monolithic = replace(
+        workload,
+        label=f"{workload.label} (monolithic)",
+        db=workload.db.copy(),
+        options=replace(workload.options, use_scc=False),
+    ).run()
+    assert scheduled.stats.fact_counts == monolithic.stats.fact_counts, (
+        f"{workload.label}: scheduled and monolithic engines disagree"
+    )
+    return scheduled.stats, monolithic.stats
 
 
 def summarize(label: str, stats: EvalStats) -> str:

@@ -33,6 +33,7 @@ import bench_example6_uqe as e6
 import bench_example12_transform as e12
 import bench_arity_sweep as p5
 import bench_magic_composition as p4
+import bench_scheduler as sched
 import bench_topdown_vs_magic as td
 
 
@@ -292,6 +293,87 @@ def report_engine() -> None:
     print(f"(wrote {ENGINE_JSON.name})")
 
 
+#: machine-readable scheduler ablation, regenerated by report_scheduler()
+SCHEDULER_JSON = Path(__file__).parent / "BENCH_scheduler.json"
+
+#: monolithic stratum loop (--no-scc) vs SCC scheduling vs SCC with a
+#: 4-thread pool for same-depth units (--parallel 4)
+SCHEDULER_CONFIGS = {
+    "monolithic": {"use_scc": False},
+    "scc": {},
+    "scc-parallel": {"parallel": 4},
+}
+
+
+def report_scheduler() -> None:
+    """Monolithic / SCC / SCC+parallel ablation; writes BENCH_scheduler.json.
+
+    Every configuration of a workload must reach the same fixpoint; a
+    fact-count divergence is reported through the same gate as the
+    optimizer regressions.  Wall-clock for the parallel configuration
+    is honest for *this* machine (core count recorded in the metadata):
+    the scheduler's thread pool only helps when sibling units can run
+    on distinct cores, and pure-Python joins serialize on the GIL, so
+    the deterministic work counters are the portable quantities.
+    """
+    import os
+
+    n = sched.SIZES[-1]
+    workloads = {
+        f"{name}-n{n}": (make_program(), lambda mk=make_db: mk(n))
+        for name, (make_program, make_db) in sched.WORKLOADS.items()
+    }
+    payload = {
+        "_meta": {
+            "configs": {
+                name: (overrides or "engine defaults")
+                for name, overrides in SCHEDULER_CONFIGS.items()
+            },
+            "cpu_count": os.cpu_count(),
+            "note": "wall-clock is one warmed run on this machine; "
+            "scc-parallel wall-clock needs multiple cores (and a "
+            "GIL-free interpreter) to beat scc, so the work counters "
+            "are the quantities to diff across PRs",
+        }
+    }
+    rows = []
+    for family, (program, make_db) in workloads.items():
+        payload[family] = {}
+        fact_counts = {}
+        join_work = {}
+        for config, overrides in SCHEDULER_CONFIGS.items():
+            db = make_db()  # fresh (cold) database per configuration
+            opts = EngineOptions(**overrides)
+            ms, res = timed(lambda p=program, d=db, o=opts: evaluate(p, d, o))
+            fact_counts[config] = res.stats.facts_derived
+            join_work[config] = res.stats.join_work
+            payload[family][config] = {
+                "wall_ms": round(ms, 3),
+                **res.stats.as_dict(),
+            }
+            rows.append([
+                family, config, fmt(ms), res.stats.iterations,
+                res.stats.join_work, res.stats.units_scheduled,
+                res.stats.units_parallel,
+            ])
+        for config in ("scc", "scc-parallel"):
+            check_no_extra_facts(
+                "scheduler", f"{config} vs monolithic on {family}",
+                fact_counts[config], fact_counts["monolithic"],
+            )
+        ratio = join_work["monolithic"] / max(1, join_work["scc"])
+        rows.append([family, "=> scc join-work win", f"x{ratio:.1f}", "", "", "", ""])
+    with open(SCHEDULER_JSON, "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.write("\n")
+    table(
+        "SCHED — SCC scheduling vs the monolithic stratum loop",
+        ["workload", "config", "time", "iters", "join work", "units", "parallel"],
+        rows,
+    )
+    print(f"(wrote {SCHEDULER_JSON.name})")
+
+
 REPORTS = {
     "e2": report_e2,
     "e3": report_e3,
@@ -302,6 +384,7 @@ REPORTS = {
     "td": report_td,
     "ix": report_ix,
     "engine": report_engine,
+    "scheduler": report_scheduler,
 }
 
 

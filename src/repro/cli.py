@@ -72,7 +72,12 @@ def _cmd_optimize(args) -> int:
 def _cmd_run(args) -> int:
     program = _load_program(args.program)
     db = _load_facts(args.facts)
-    engine = dict(use_indexes=not args.no_index, use_kernels=not args.no_kernel)
+    engine = dict(
+        use_indexes=not args.no_index,
+        use_kernels=not args.no_kernel,
+        use_scc=not args.no_scc,
+        parallel=args.parallel,
+    )
     if args.optimize:
         result = optimize(program)
         evaluation = result.evaluate(db, **engine)
@@ -174,6 +179,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="evaluate rule bodies with the plan interpreter instead of "
         "compiled kernels (the differential oracle; answers, provenance "
         "and work counters are identical, only wall-clock differs)",
+    )
+    p_run.add_argument(
+        "--no-scc",
+        action="store_true",
+        help="run each stratum as one monolithic fixpoint instead of "
+        "scheduling its SCC-condensation DAG unit by unit (the "
+        "pre-scheduler engine; answers are identical, only work differs)",
+    )
+    p_run.add_argument(
+        "--parallel",
+        type=int,
+        default=1,
+        metavar="N",
+        help="evaluate independent SCC units (same condensation depth) "
+        "on a thread pool of N workers (default 1; implies SCC "
+        "scheduling; results are deterministic for any N)",
     )
     p_run.set_defaults(fn=_cmd_run)
 

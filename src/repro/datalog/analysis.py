@@ -17,7 +17,7 @@ Provides the structural facts every optimizer phase relies on:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Iterable, Mapping, Optional
 
 from .ast import Program, Rule
 from .terms import Variable
@@ -30,6 +30,9 @@ __all__ = [
     "strongly_connected_components",
     "recursive_predicates",
     "is_recursive_rule",
+    "is_recursive_component",
+    "condensation",
+    "component_depths",
     "reachable_predicates",
     "undefined_body_predicates",
     "is_chain_rule",
@@ -59,7 +62,9 @@ def negative_dependencies(program: Program) -> frozenset[tuple[str, str]]:
     )
 
 
-def stratify(program: Program) -> list[frozenset[str]]:
+def stratify(
+    program: Program, info: Optional["DependencyInfo"] = None
+) -> list[frozenset[str]]:
     """Partition the derived predicates into strata such that every
     positive dependency stays within or below a predicate's stratum and
     every *negative* dependency points strictly below.
@@ -70,13 +75,19 @@ def stratify(program: Program) -> list[frozenset[str]]:
 
     The returned list orders strata bottom-up; base (EDB) predicates
     implicitly occupy stratum -1 and are not listed.
+
+    Pass the program's :class:`DependencyInfo` (from :func:`analyze`)
+    to reuse its dependency graph and SCCs instead of recomputing both
+    from scratch.
     """
     from .errors import ValidationError
 
-    graph = dependency_graph(program)
+    if info is None:
+        info = analyze(program)
+    graph = info.graph
     negative = negative_dependencies(program)
-    sccs = strongly_connected_components(graph)
-    idb = program.idb_predicates()
+    sccs = info.sccs
+    idb = info.idb
 
     component_of: dict[str, int] = {}
     for i, scc in enumerate(sccs):
@@ -186,13 +197,69 @@ def recursive_predicates(program: Program) -> frozenset[str]:
     graph = dependency_graph(program)
     recursive: set[str] = set()
     for component in strongly_connected_components(graph):
-        if len(component) > 1:
+        if is_recursive_component(component, graph):
             recursive.update(component)
-        else:
-            (node,) = component
-            if node in graph.get(node, frozenset()):
-                recursive.add(node)
     return frozenset(recursive)
+
+
+def is_recursive_component(component: frozenset[str], graph: Mapping[str, frozenset[str]]) -> bool:
+    """True iff *component* (an SCC of *graph*) contains a cycle: more
+    than one member, or a single member with a self-loop."""
+    if len(component) > 1:
+        return True
+    (node,) = component
+    return node in graph.get(node, frozenset())
+
+
+def condensation(info: "DependencyInfo") -> dict[int, frozenset[int]]:
+    """Dependency edges of the SCC condensation DAG.
+
+    Maps each component index (into ``info.sccs``) to the indexes of
+    the components it depends on (self-edges dropped).  Components are
+    already in reverse topological order, so ``edges[i]`` only contains
+    indexes ``j < i``.
+    """
+    component_of = {p: i for i, scc in enumerate(info.sccs) for p in scc}
+    edges: dict[int, set[int]] = {i: set() for i in range(len(info.sccs))}
+    for i, scc in enumerate(info.sccs):
+        for p in scc:
+            for dep in info.graph.get(p, ()):
+                j = component_of[dep]
+                if j != i:
+                    edges[i].add(j)
+    return {i: frozenset(deps) for i, deps in edges.items()}
+
+
+def component_depths(
+    edges: Mapping[int, frozenset[int]], within: Iterable[int]
+) -> dict[int, int]:
+    """Longest-path depth of each component of *within* over the
+    condensation *edges*, counting only edges between members of
+    *within* (dependencies outside the set — lower strata, EDB — sit at
+    an implicit depth below 0).
+
+    Components at equal depth have no dependency path between them, so
+    they are safe to evaluate concurrently once every lower depth has
+    been retired.
+    """
+    members = set(within)
+    depths: dict[int, int] = {}
+
+    def depth(i: int) -> int:
+        d = depths.get(i)
+        if d is None:
+            # edges point at strictly smaller indexes (reverse
+            # topological numbering), so this recursion terminates
+            d = max(
+                (depth(j) + 1 for j in edges.get(i, ()) if j in members),
+                default=0,
+            )
+            depths[i] = d
+        return d
+
+    for i in members:
+        depth(i)
+    return depths
 
 
 def is_recursive_rule(rule: Rule, recursive: frozenset[str]) -> bool:
@@ -289,15 +356,32 @@ class DependencyInfo:
 
 
 def analyze(program: Program) -> DependencyInfo:
-    """Run all static analyses once and bundle the results."""
+    """Run all static analyses once and bundle the results.
+
+    The dependency graph and its SCCs are computed exactly once here;
+    the recursive set and query reachability are derived from them
+    rather than recomputed (and :func:`stratify` accepts the bundle for
+    the same reason).
+    """
     graph = dependency_graph(program)
     sccs = tuple(strongly_connected_components(graph))
-    roots = [program.query.predicate] if program.query is not None else []
+    recursive: set[str] = set()
+    for component in sccs:
+        if is_recursive_component(component, graph):
+            recursive.update(component)
+    seen: set[str] = set()
+    stack = [program.query.predicate] if program.query is not None else []
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        stack.extend(graph.get(node, ()))
     return DependencyInfo(
         graph=graph,
         sccs=sccs,
-        recursive=recursive_predicates(program),
+        recursive=frozenset(recursive),
         idb=program.idb_predicates(),
         edb=program.edb_predicates(),
-        reachable_from_query=reachable_predicates(program, roots),
+        reachable_from_query=frozenset(seen),
     )

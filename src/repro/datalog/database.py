@@ -15,6 +15,7 @@ them functionally in tests.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterable, Iterator, Mapping, Optional, Sequence, Tuple
 
 from .ast import Atom
@@ -28,7 +29,7 @@ Row = Tuple
 class Relation:
     """A set of fixed-arity tuples with lazily built hash indexes."""
 
-    __slots__ = ("arity", "_rows", "_indexes", "index_builds")
+    __slots__ = ("arity", "_rows", "_indexes", "index_builds", "_build_lock")
 
     def __init__(self, arity: int, rows: Iterable[Sequence] = ()):
         self.arity = arity
@@ -38,6 +39,10 @@ class Relation:
         #: lifetime (lazy builds only; incremental maintenance on
         #: insert does not count)
         self.index_builds: int = 0
+        #: serializes lazy index builds: parallel evaluation units may
+        #: probe the same read-only relation concurrently, and exactly
+        #: one of them must materialize (and count) each missing index
+        self._build_lock = threading.Lock()
         for row in rows:
             self.add(tuple(row))
 
@@ -86,12 +91,19 @@ class Relation:
         """
         index = self._indexes.get(positions)
         if index is None:
-            index = {}
-            for row in self._rows:
-                key = tuple(row[p] for p in positions)
-                index.setdefault(key, []).append(row)
-            self._indexes[positions] = index
-            self.index_builds += 1
+            # Double-checked locking: the unlocked fast path above is
+            # safe because dict reads are atomic and a published index
+            # is never mutated concurrently with probes (parallel units
+            # only probe relations that are read-only at their depth).
+            with self._build_lock:
+                index = self._indexes.get(positions)
+                if index is None:
+                    index = {}
+                    for row in self._rows:
+                        key = tuple(row[p] for p in positions)
+                        index.setdefault(key, []).append(row)
+                    self._indexes[positions] = index
+                    self.index_builds += 1
         return index
 
     def has_index(self, positions: tuple[int, ...]) -> bool:
@@ -137,6 +149,7 @@ class Relation:
             for positions, index in self._indexes.items()
         }
         out.index_builds = 0
+        out._build_lock = threading.Lock()
         return out
 
     def __eq__(self, other) -> bool:

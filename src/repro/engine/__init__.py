@@ -24,6 +24,7 @@ from .kernel import (
 )
 from .plan import CompiledRule, DeltaIndex, LiteralPlan, compile_rule, order_body
 from .provenance import DerivationTree, Justification, derivation_tree
+from .scheduler import EvalUnit, build_units
 from .statistics import EvalStats
 from .topdown import TopDownResult, evaluate_topdown
 
@@ -45,6 +46,8 @@ __all__ = [
     "DerivationTree",
     "Justification",
     "derivation_tree",
+    "EvalUnit",
+    "build_units",
     "EvalStats",
     "TopDownResult",
     "evaluate_topdown",

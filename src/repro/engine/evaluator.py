@@ -17,6 +17,13 @@ optimizations:
 - **Initial IDB facts**: the input database may already contain facts
   for derived predicates.  This is required by the *uniform* notions of
   equivalence (section 4), whose inputs are arbitrary DB instances.
+
+The fixpoint loops themselves live in :mod:`repro.engine.scheduler`:
+by default each stratum is decomposed into its SCC-condensation DAG and
+evaluated unit by unit (non-recursive units in a single pass, recursive
+units in component-local fixpoints, independent units optionally in
+parallel); ``use_scc=False`` keeps the previous monolithic per-stratum
+loop, counter-for-counter identical to earlier releases.
 """
 
 from __future__ import annotations
@@ -24,15 +31,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from ..datalog.analysis import stratify
+from ..datalog.analysis import analyze, stratify
 from ..datalog.ast import Atom, Program
-from ..datalog.builtins import eval_builtin
 from ..datalog.database import Database
 from ..datalog.errors import EvaluationError, ValidationError
 from ..datalog.terms import Constant, Variable
-from .kernel import rule_kernel
-from .plan import CompiledRule, DeltaIndex, compile_rule, match_plan
-from .provenance import DerivationTree, Justification, derivation_tree
+from .plan import CompiledRule, compile_rule
+from .provenance import DerivationTree, derivation_tree
+from .scheduler import run_monolithic, run_scheduled
 from .statistics import EvalStats
 
 __all__ = ["EngineOptions", "EvalResult", "evaluate", "answers_of"]
@@ -61,6 +67,19 @@ class EngineOptions:
         ``--no-kernel``) keeps the interpreter, which is retained as
         the differential oracle — answers, provenance, and every work
         counter except ``kernel_launches`` are bit-identical.
+    use_scc
+        Schedule each stratum as a topologically ordered DAG of
+        SCC evaluation units (default; see
+        :mod:`repro.engine.scheduler`).  ``False`` (the CLI's
+        ``--no-scc``) runs each stratum as one monolithic fixpoint over
+        all its rules — the pre-scheduler engine, kept bit-identical as
+        the scheduler's differential oracle.
+    parallel
+        Thread-pool width for evaluation units at the same condensation
+        depth (only meaningful with ``use_scc``).  ``1`` (default) runs
+        units sequentially; results are deterministic for any value
+        because per-unit statistics and provenance merge at a barrier
+        in unit order.
     record_provenance
         Record a first justification per derived fact, enabling
         :meth:`EvalResult.derivation`.
@@ -68,19 +87,24 @@ class EngineOptions:
         Abort with :class:`EvaluationError` if the fixpoint does not
         converge within this many iterations (None = unbounded).  All
         safe Datalog programs converge; the bound exists to fail fast on
-        engine bugs.
+        engine bugs.  Under SCC scheduling each unit has its own
+        iteration counter, so the bound is per-unit.
     """
 
     strategy: str = "seminaive"
     cut_predicates: frozenset[str] = frozenset()
     use_indexes: bool = True
     use_kernels: bool = True
+    use_scc: bool = True
+    parallel: int = 1
     record_provenance: bool = False
     max_iterations: Optional[int] = None
 
     def __post_init__(self):
         if self.strategy not in ("seminaive", "naive"):
             raise ValidationError(f"unknown strategy {self.strategy!r}")
+        if self.parallel < 1:
+            raise ValidationError(f"parallel must be >= 1, got {self.parallel}")
         object.__setattr__(self, "cut_predicates", frozenset(self.cut_predicates))
 
 
@@ -196,13 +220,12 @@ def evaluate(
             continue
         compiled.append(compile_rule(r, i, sizes=sizes))
 
-    retire = _Retirer(opts.cut_predicates, stats)
-
     # Stratified evaluation (section-6 extension): rules run stratum by
     # stratum, so a negated literal always refers to a fully computed
     # lower-stratum relation.  Pure Datalog yields a single stratum.
+    info = analyze(program)
     if program.has_negation():
-        layers = stratify(program)
+        layers = stratify(program, info)
         index = {p: i for i, layer in enumerate(layers) for p in layer}
         grouped: dict[int, list[CompiledRule]] = {}
         for cr in compiled:
@@ -211,14 +234,10 @@ def evaluate(
     else:
         strata = [compiled] if compiled else []
 
-    for stratum_rules in strata:
-        active = retire.filter(stratum_rules, db)
-        if not active:
-            continue
-        if opts.strategy == "naive":
-            _naive_loop(active, db, stats, provenance, opts, retire)
-        else:
-            _seminaive_loop(active, db, stats, provenance, opts, retire)
+    if opts.use_scc:
+        run_scheduled(strata, info, db, stats, provenance, opts)
+    else:
+        run_monolithic(strata, db, stats, provenance, opts)
 
     for pred in program.idb_predicates():
         stats.fact_counts[pred] = len(db.rows(pred))
@@ -226,208 +245,3 @@ def evaluate(
     # the point of sharing them); only builds during this run count.
     stats.index_builds = db.index_builds() - builds_before
     return EvalResult(program, db, stats, provenance)
-
-
-class _Retirer:
-    """Removes satisfied boolean (cut) rules from the active set."""
-
-    def __init__(self, cut_predicates: frozenset[str], stats: EvalStats):
-        self._cut = cut_predicates
-        self._stats = stats
-
-    def filter(self, rules: list[CompiledRule], db: Database) -> list[CompiledRule]:
-        if not self._cut:
-            return rules
-        keep = []
-        for cr in rules:
-            head = cr.rule.head.predicate
-            if head in self._cut and db.rows(head):
-                self._stats.rules_retired += 1
-            else:
-                keep.append(cr)
-        return keep
-
-
-def _fire(
-    cr: CompiledRule,
-    plan_id: Optional[int],
-    db: Database,
-    stats: EvalStats,
-    provenance: dict,
-    opts: EngineOptions,
-    added: dict[str, set],
-    delta: Optional[DeltaIndex] = None,
-) -> None:
-    """Run one plan of one rule, inserting new head facts.
-
-    *plan_id* selects the naive plan (``None``) or the delta plan
-    starting at relational literal *plan_id*.  With
-    ``opts.use_kernels`` the plan runs as a compiled kernel (built-ins,
-    negation, and head construction are inside the kernel body); the
-    interpreter below is the fallback and the differential oracle.
-    """
-    head_pred = cr.rule.head.predicate
-    rel = db.relation(head_pred)
-    assert rel is not None
-    if opts.use_kernels:
-        kernel = rule_kernel(
-            cr,
-            plan_id,
-            use_indexes=opts.use_indexes,
-            record_rows=opts.record_provenance,
-        )
-        if kernel is not None:
-            stats.kernel_launches += 1
-            new = added.get(head_pred)
-            if opts.record_provenance:
-                for values, body_rows in kernel(db, stats, delta):
-                    if rel.add(values):
-                        stats.facts_derived += 1
-                        if new is None:
-                            new = added.setdefault(head_pred, set())
-                        new.add(values)
-                        body = tuple(
-                            (atom.predicate, row)
-                            for atom, row in zip(cr.relational_body, body_rows)
-                        )
-                        provenance[(head_pred, values)] = Justification(
-                            cr.rule_index, body
-                        )
-                    else:
-                        stats.duplicates += 1
-            else:
-                for values in kernel(db, stats, delta):
-                    if rel.add(values):
-                        stats.facts_derived += 1
-                        if new is None:
-                            new = added.setdefault(head_pred, set())
-                        new.add(values)
-                    else:
-                        stats.duplicates += 1
-            return
-    plans = cr.plan if plan_id is None else cr.delta_plans[plan_id]
-    for subst, body_rows in match_plan(
-        plans, db, stats, delta_rows=delta, use_indexes=opts.use_indexes
-    ):
-        if cr.builtins and not _builtins_hold(cr, subst):
-            continue
-        if cr.rule.negative and not _negatives_hold(cr, db, subst, stats):
-            continue
-        stats.rule_firings += 1
-        values = cr.head_values(subst)
-        if rel.add(values):
-            stats.facts_derived += 1
-            added.setdefault(head_pred, set()).add(values)
-            if opts.record_provenance:
-                body = tuple(
-                    (atom.predicate, row)
-                    for atom, row in zip(cr.relational_body, body_rows)
-                )
-                provenance[(head_pred, values)] = Justification(cr.rule_index, body)
-        else:
-            stats.duplicates += 1
-
-
-def _builtins_hold(cr: CompiledRule, subst: dict) -> bool:
-    """Evaluate the rule's comparison built-ins under a complete match."""
-    for atom in cr.builtins:
-        a, b = (
-            t.value if isinstance(t, Constant) else subst[t] for t in atom.args
-        )
-        if not eval_builtin(atom.predicate, a, b):
-            return False
-    return True
-
-
-def _negatives_hold(cr: CompiledRule, db: Database, subst: dict, stats: EvalStats) -> bool:
-    """Check the negated literals of a rule under a complete positive
-    match.  Safety guarantees every variable is bound; stratification
-    guarantees the referenced relation is complete."""
-    for atom in cr.rule.negative:
-        rel = db.relation(atom.predicate)
-        stats.join_probes += 1
-        if rel is None:
-            continue  # empty relation: the negation holds
-        key = tuple(
-            a.value if isinstance(a, Constant) else subst[a] for a in atom.args
-        )
-        if key in rel:
-            return False
-    return True
-
-
-def _check_budget(stats: EvalStats, opts: EngineOptions) -> None:
-    stats.iterations += 1
-    if opts.max_iterations is not None and stats.iterations > opts.max_iterations:
-        raise EvaluationError(
-            f"fixpoint did not converge within {opts.max_iterations} iterations"
-        )
-
-
-def _naive_loop(active, db, stats, provenance, opts, retire) -> None:
-    while True:
-        _check_budget(stats, opts)
-        added: dict[str, set] = {}
-        for cr in active:
-            _fire(cr, None, db, stats, provenance, opts, added)
-        active = retire.filter(active, db)
-        if not any(added.values()):
-            return
-
-
-def _seminaive_loop(active, db, stats, provenance, opts, retire) -> None:
-    # Specialize each rule once per *recursive* literal — a body
-    # position whose predicate is the head of some rule in this stratum
-    # (including boolean cut rules that may retire later: their facts
-    # still arrive as deltas) and can therefore ever change.  Literals
-    # over stored or lower-stratum relations never change here, so no
-    # delta body starts from them and the rule is never re-scanned in
-    # full.
-    recursive = {cr.rule.head.predicate for cr in active}
-    specializations = [
-        (
-            cr,
-            [
-                (i, literal.predicate)
-                for i, literal in enumerate(cr.relational_body)
-                if literal.predicate in recursive
-            ],
-        )
-        for cr in active
-    ]
-
-    # First round is naive: it also accounts for initial IDB facts,
-    # which uniform-equivalence inputs may contain.
-    _check_budget(stats, opts)
-    delta: dict[str, set] = {}
-    for cr in active:
-        _fire(cr, None, db, stats, provenance, opts, delta)
-    active = retire.filter(active, db)
-
-    alive = set(map(id, active))
-    while any(delta.values()):
-        _check_budget(stats, opts)
-        # One shared DeltaIndex per changed predicate: every rule
-        # specialization probing that frontier this round reuses the
-        # same lazily built position groupings.
-        previous = {p: DeltaIndex(rows) for p, rows in delta.items() if rows}
-        delta = {}
-        for cr, delta_literals in specializations:
-            if id(cr) not in alive:
-                continue
-            for i, predicate in delta_literals:
-                frontier = previous.get(predicate)
-                if frontier is None:
-                    continue
-                _fire(
-                    cr,
-                    i,
-                    db,
-                    stats,
-                    provenance,
-                    opts,
-                    delta,
-                    delta=frontier,
-                )
-        active = retire.filter(active, db)
-        alive = set(map(id, active))

@@ -218,6 +218,20 @@ class CompiledRule:
             a.value if isinstance(a, Constant) else subst[a] for a in self.rule.head.args
         )
 
+    def delta_literals(self, recursive) -> tuple[tuple[int, str], ...]:
+        """The relational body positions whose predicate is in
+        *recursive* — i.e. can still change while the current fixpoint
+        runs, so their delta plan must be fired each round.  The
+        monolithic loop passes the stratum's head predicates; the
+        component scheduler passes the unit's own SCC members, which is
+        typically a much smaller set and prunes delta firings over
+        frozen sibling components."""
+        return tuple(
+            (i, literal.predicate)
+            for i, literal in enumerate(self.relational_body)
+            if literal.predicate in recursive
+        )
+
 
 def _mark_existential(
     plans: tuple[LiteralPlan, ...], always_needed: frozenset[Variable]

@@ -1,0 +1,490 @@
+"""Fixpoint loops and the SCC-condensation component scheduler.
+
+The paper's Phase 1 (section 3.1, Lemma 3.1) splits rule bodies into
+connected components because disconnected boolean subqueries are
+*independent* computations: each can be retired the moment it fires.
+The evaluation-side counterpart implemented here applies the same idea
+to the predicate dependency graph.  Instead of running every
+negation-stratum as one monolithic semi-naive fixpoint — where a cheap
+non-recursive rule keeps re-entering rounds alongside the most
+expensive recursive predicate of its stratum — the stratum's rules are
+partitioned into **evaluation units**, one per strongly connected
+component of the dependency graph, and the units are scheduled over
+the SCC condensation DAG in topological order:
+
+- a **non-recursive** unit (a single predicate that does not depend on
+  itself) runs as a single naive pass: all its inputs are complete by
+  the time it is scheduled, so one pass reaches its fixpoint;
+- a **recursive** unit runs its own semi-naive fixpoint over only its
+  member rules, with delta specialization restricted to the unit's own
+  predicates (everything else is frozen input);
+- units at the same condensation depth have no dependency path between
+  them, so they may execute **concurrently** (``EngineOptions.parallel``)
+  — each unit writes only its own head relations, reads lower units'
+  relations that no longer change, and keeps private statistics merged
+  at a per-depth barrier in deterministic unit order;
+- **component-local retirement** generalizes the boolean cut: when a
+  unit's head predicates are all cut predicates and each has fired,
+  the whole unit — not just individual rules — terminates, including
+  mid-fixpoint with deltas still pending.
+
+``run_monolithic`` preserves the previous per-stratum loop verbatim
+(the CLI's ``--no-scc``); every ``EvalStats`` counter it produces is
+bit-identical to the pre-scheduler engine, which keeps it available as
+the differential oracle for the scheduler itself.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Optional
+
+from ..datalog.analysis import (
+    DependencyInfo,
+    component_depths,
+    condensation,
+    is_recursive_component,
+)
+from ..datalog.builtins import eval_builtin
+from ..datalog.database import Database
+from ..datalog.errors import EvaluationError
+from ..datalog.terms import Constant
+from .kernel import rule_kernel
+from .plan import CompiledRule, DeltaIndex, match_plan
+from .provenance import Justification
+from .statistics import EvalStats
+
+__all__ = ["EvalUnit", "build_units", "run_monolithic", "run_scheduled"]
+
+
+# ---------------------------------------------------------------------------
+# rule firing (shared by every loop)
+# ---------------------------------------------------------------------------
+
+
+def _fire(
+    cr: CompiledRule,
+    plan_id: Optional[int],
+    db: Database,
+    stats: EvalStats,
+    provenance: dict,
+    opts,
+    added: dict[str, set],
+    delta: Optional[DeltaIndex] = None,
+) -> None:
+    """Run one plan of one rule, inserting new head facts.
+
+    *plan_id* selects the naive plan (``None``) or the delta plan
+    starting at relational literal *plan_id*.  With
+    ``opts.use_kernels`` the plan runs as a compiled kernel (built-ins,
+    negation, and head construction are inside the kernel body); the
+    interpreter below is the fallback and the differential oracle.
+    """
+    head_pred = cr.rule.head.predicate
+    rel = db.relation(head_pred)
+    assert rel is not None
+    if opts.use_kernels:
+        kernel = rule_kernel(
+            cr,
+            plan_id,
+            use_indexes=opts.use_indexes,
+            record_rows=opts.record_provenance,
+        )
+        if kernel is not None:
+            stats.kernel_launches += 1
+            new = added.get(head_pred)
+            if opts.record_provenance:
+                for values, body_rows in kernel(db, stats, delta):
+                    if rel.add(values):
+                        stats.facts_derived += 1
+                        if new is None:
+                            new = added.setdefault(head_pred, set())
+                        new.add(values)
+                        body = tuple(
+                            (atom.predicate, row)
+                            for atom, row in zip(cr.relational_body, body_rows)
+                        )
+                        provenance[(head_pred, values)] = Justification(
+                            cr.rule_index, body
+                        )
+                    else:
+                        stats.duplicates += 1
+            else:
+                for values in kernel(db, stats, delta):
+                    if rel.add(values):
+                        stats.facts_derived += 1
+                        if new is None:
+                            new = added.setdefault(head_pred, set())
+                        new.add(values)
+                    else:
+                        stats.duplicates += 1
+            return
+    plans = cr.plan if plan_id is None else cr.delta_plans[plan_id]
+    for subst, body_rows in match_plan(
+        plans, db, stats, delta_rows=delta, use_indexes=opts.use_indexes
+    ):
+        if cr.builtins and not _builtins_hold(cr, subst):
+            continue
+        if cr.rule.negative and not _negatives_hold(cr, db, subst, stats):
+            continue
+        stats.rule_firings += 1
+        values = cr.head_values(subst)
+        if rel.add(values):
+            stats.facts_derived += 1
+            added.setdefault(head_pred, set()).add(values)
+            if opts.record_provenance:
+                body = tuple(
+                    (atom.predicate, row)
+                    for atom, row in zip(cr.relational_body, body_rows)
+                )
+                provenance[(head_pred, values)] = Justification(cr.rule_index, body)
+        else:
+            stats.duplicates += 1
+
+
+def _builtins_hold(cr: CompiledRule, subst: dict) -> bool:
+    """Evaluate the rule's comparison built-ins under a complete match."""
+    for atom in cr.builtins:
+        a, b = (
+            t.value if isinstance(t, Constant) else subst[t] for t in atom.args
+        )
+        if not eval_builtin(atom.predicate, a, b):
+            return False
+    return True
+
+
+def _negatives_hold(cr: CompiledRule, db: Database, subst: dict, stats: EvalStats) -> bool:
+    """Check the negated literals of a rule under a complete positive
+    match.  Safety guarantees every variable is bound; stratification
+    guarantees the referenced relation is complete."""
+    for atom in cr.rule.negative:
+        rel = db.relation(atom.predicate)
+        stats.join_probes += 1
+        if rel is None:
+            continue  # empty relation: the negation holds
+        key = tuple(
+            a.value if isinstance(a, Constant) else subst[a] for a in atom.args
+        )
+        if key in rel:
+            return False
+    return True
+
+
+def _check_budget(stats: EvalStats, opts) -> None:
+    stats.iterations += 1
+    if opts.max_iterations is not None and stats.iterations > opts.max_iterations:
+        raise EvaluationError(
+            f"fixpoint did not converge within {opts.max_iterations} iterations"
+        )
+
+
+class _Retirer:
+    """Removes satisfied boolean (cut) rules from the active set.
+
+    Constructed per stratum by the monolithic loop and per *unit* by
+    the scheduler.  With *unit_heads* given and all of them cut
+    predicates, :meth:`unit_satisfied` reports when the whole unit is
+    complete (every head boolean has fired) — the component-local
+    generalization of rule retirement.  Rule retirements are counted at
+    most once per rule, so mid-loop filtering and end-of-unit
+    retirement compose without double counting.
+    """
+
+    def __init__(
+        self,
+        cut_predicates: frozenset[str],
+        stats: EvalStats,
+        unit_heads: Optional[frozenset[str]] = None,
+    ):
+        self._cut = cut_predicates
+        self._stats = stats
+        self._retired_ids: set[int] = set()
+        self._unit_heads = unit_heads
+        self._unit_cut = bool(unit_heads) and unit_heads <= cut_predicates
+
+    def filter(self, rules: list[CompiledRule], db: Database) -> list[CompiledRule]:
+        if not self._cut:
+            return rules
+        keep = []
+        for cr in rules:
+            head = cr.rule.head.predicate
+            if head in self._cut and db.rows(head):
+                self._mark(cr)
+            else:
+                keep.append(cr)
+        return keep
+
+    def unit_satisfied(self, db: Database) -> bool:
+        """True iff this retirer guards a unit whose head predicates are
+        all cut predicates and every one of them has fired — the unit's
+        relations are then complete and the unit can stop mid-fixpoint."""
+        if not self._unit_cut:
+            return False
+        return all(db.rows(h) for h in self._unit_heads)
+
+    def retire_all(self, rules) -> None:
+        """Mark every rule of a satisfied cut unit as retired (idempotent)."""
+        for cr in rules:
+            self._mark(cr)
+
+    def _mark(self, cr: CompiledRule) -> None:
+        if id(cr) not in self._retired_ids:
+            self._retired_ids.add(id(cr))
+            self._stats.rules_retired += 1
+
+
+# ---------------------------------------------------------------------------
+# fixpoint loops
+# ---------------------------------------------------------------------------
+
+
+def _naive_loop(active, db, stats, provenance, opts, retire) -> None:
+    while True:
+        _check_budget(stats, opts)
+        added: dict[str, set] = {}
+        for cr in active:
+            _fire(cr, None, db, stats, provenance, opts, added)
+        active = retire.filter(active, db)
+        if not any(added.values()):
+            return
+        if retire.unit_satisfied(db):
+            # component-local cut: the unit's booleans are all true, so
+            # its relations are complete even though the last round
+            # still derived facts
+            stats.unit_early_exits += 1
+            return
+
+
+def _seminaive_loop(
+    active, db, stats, provenance, opts, retire, recursive: Optional[frozenset] = None
+) -> None:
+    # Specialize each rule once per *recursive* literal — a body
+    # position whose predicate can still change while this loop runs.
+    # The monolithic stratum loop passes no set and conservatively uses
+    # every head predicate of the stratum (including boolean cut rules
+    # that may retire later: their facts still arrive as deltas); the
+    # component scheduler passes the unit's own SCC members, so
+    # literals over sibling components — frozen inputs here — never
+    # seed a delta body and the rule is never re-scanned for them.
+    if recursive is None:
+        recursive = {cr.rule.head.predicate for cr in active}
+    specializations = [
+        (cr, cr.delta_literals(recursive)) for cr in active
+    ]
+
+    # First round is naive: it also accounts for initial IDB facts,
+    # which uniform-equivalence inputs may contain.
+    _check_budget(stats, opts)
+    delta: dict[str, set] = {}
+    for cr in active:
+        _fire(cr, None, db, stats, provenance, opts, delta)
+    active = retire.filter(active, db)
+
+    alive = set(map(id, active))
+    while any(delta.values()):
+        if retire.unit_satisfied(db):
+            # component-local cut: deltas are pending but every head
+            # boolean of the unit has fired, so further rounds can only
+            # rediscover facts nobody will read
+            stats.unit_early_exits += 1
+            return
+        _check_budget(stats, opts)
+        # One shared DeltaIndex per changed predicate: every rule
+        # specialization probing that frontier this round reuses the
+        # same lazily built position groupings.
+        previous = {p: DeltaIndex(rows) for p, rows in delta.items() if rows}
+        delta = {}
+        for cr, delta_literals in specializations:
+            if id(cr) not in alive:
+                continue
+            for i, predicate in delta_literals:
+                frontier = previous.get(predicate)
+                if frontier is None:
+                    continue
+                _fire(
+                    cr,
+                    i,
+                    db,
+                    stats,
+                    provenance,
+                    opts,
+                    delta,
+                    delta=frontier,
+                )
+        active = retire.filter(active, db)
+        alive = set(map(id, active))
+
+
+def _single_pass(active, db, stats, provenance, opts, retire) -> None:
+    """One naive pass over a non-recursive unit's rules.
+
+    Every input relation is complete when the unit is scheduled and the
+    head predicate does not occur in any of its own bodies, so one pass
+    reaches the unit's fixpoint — no delta rounds, no final empty
+    verification round, and no ``iterations`` charge: the pass is
+    straight-line code outside any fixpoint loop, which is the point of
+    scheduling non-recursive rules separately (``max_iterations`` only
+    bounds loops that could diverge).  Cut units additionally stop
+    between rules once every head boolean has fired (the remaining
+    rules are retired unfired).
+    """
+    added: dict[str, set] = {}
+    for fired, cr in enumerate(active):
+        if fired and retire.unit_satisfied(db):
+            stats.unit_early_exits += 1
+            retire.retire_all(active)
+            return
+        _fire(cr, None, db, stats, provenance, opts, added)
+
+
+# ---------------------------------------------------------------------------
+# the monolithic per-stratum loop (--no-scc)
+# ---------------------------------------------------------------------------
+
+
+def run_monolithic(strata, db, stats, provenance, opts) -> None:
+    """Evaluate each stratum as one fixpoint over all its rules.
+
+    This is the pre-scheduler engine, kept verbatim: with
+    ``use_scc=False`` every counter is bit-identical to the previous
+    releases, which makes this loop the differential oracle for
+    :func:`run_scheduled`.
+    """
+    retire = _Retirer(opts.cut_predicates, stats)
+    for stratum_rules in strata:
+        active = retire.filter(stratum_rules, db)
+        if not active:
+            continue
+        if opts.strategy == "naive":
+            _naive_loop(active, db, stats, provenance, opts, retire)
+        else:
+            _seminaive_loop(active, db, stats, provenance, opts, retire)
+
+
+# ---------------------------------------------------------------------------
+# the SCC-condensation scheduler
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EvalUnit:
+    """One schedulable evaluation unit: the rules of one SCC.
+
+    ``members`` are the SCC's predicates (the delta-specialization set
+    for recursive units); ``heads`` the subset actually heading rules
+    in this stratum; ``depth`` the unit's layer in the condensation of
+    its stratum — units sharing a depth have no dependency path between
+    them and may run concurrently.
+    """
+
+    index: int
+    depth: int
+    members: frozenset[str]
+    heads: frozenset[str]
+    rules: tuple[CompiledRule, ...]
+    recursive: bool
+
+    @property
+    def label(self) -> str:
+        return "+".join(sorted(self.members))
+
+
+def build_units(stratum_rules, info: DependencyInfo, edges, component_of) -> list[EvalUnit]:
+    """Partition one stratum's compiled rules into topologically
+    ordered evaluation units (deterministic: depth, then SCC index)."""
+    groups: dict[int, list[CompiledRule]] = {}
+    for cr in stratum_rules:
+        groups.setdefault(component_of[cr.rule.head.predicate], []).append(cr)
+    depths = component_depths(edges, groups)
+    units = []
+    for ci in sorted(groups, key=lambda c: (depths[c], c)):
+        rules = tuple(groups[ci])
+        scc = info.sccs[ci]
+        units.append(
+            EvalUnit(
+                index=ci,
+                depth=depths[ci],
+                members=scc,
+                heads=frozenset(cr.rule.head.predicate for cr in rules),
+                rules=rules,
+                recursive=is_recursive_component(scc, info.graph),
+            )
+        )
+    return units
+
+
+def _run_unit(unit: EvalUnit, db: Database, opts) -> tuple[EvalStats, dict]:
+    """Evaluate one unit to its local fixpoint.
+
+    Returns the unit's private statistics and provenance fragment; the
+    caller merges both at the depth barrier in unit order, so parallel
+    execution is observationally identical to sequential execution.
+    Thread-safety contract: the unit writes only the relations of its
+    own head predicates; every other relation it touches is read-only
+    for the duration of its depth level (lazy index builds on shared
+    relations are serialized inside :class:`~repro.datalog.database.Relation`).
+    """
+    stats = EvalStats()
+    provenance: dict = {}
+    retire = _Retirer(opts.cut_predicates, stats, unit_heads=unit.heads)
+    active = retire.filter(list(unit.rules), db)
+    if active:
+        if not unit.recursive:
+            _single_pass(active, db, stats, provenance, opts, retire)
+        elif opts.strategy == "naive":
+            _naive_loop(active, db, stats, provenance, opts, retire)
+        else:
+            _seminaive_loop(
+                active, db, stats, provenance, opts, retire, recursive=unit.members
+            )
+    if retire.unit_satisfied(db):
+        retire.retire_all(unit.rules)
+    return stats, provenance
+
+
+def run_scheduled(strata, info: DependencyInfo, db, stats, provenance, opts) -> None:
+    """Evaluate every stratum as a topologically scheduled DAG of units.
+
+    Units at the same condensation depth are independent; with
+    ``opts.parallel > 1`` they run on a shared thread pool.  Results
+    (statistics, provenance) are merged at the per-depth barrier in
+    deterministic unit order, so per-unit counters are identical run to
+    run regardless of thread interleaving.
+    """
+    edges = condensation(info)
+    component_of = {p: i for i, scc in enumerate(info.sccs) for p in scc}
+    executor: Optional[ThreadPoolExecutor] = None
+    try:
+        for stratum_rules in strata:
+            if not stratum_rules:
+                continue
+            units = build_units(stratum_rules, info, edges, component_of)
+            by_depth: dict[int, list[EvalUnit]] = {}
+            for unit in units:
+                by_depth.setdefault(unit.depth, []).append(unit)
+            for depth in sorted(by_depth):
+                batch = by_depth[depth]
+                if opts.parallel > 1 and len(batch) > 1:
+                    if executor is None:
+                        executor = ThreadPoolExecutor(max_workers=opts.parallel)
+                    futures = [
+                        executor.submit(_run_unit, unit, db, opts) for unit in batch
+                    ]
+                    results = [f.result() for f in futures]
+                    stats.units_parallel += len(batch)
+                else:
+                    results = [_run_unit(unit, db, opts) for unit in batch]
+                # barrier: merge in unit order (deterministic), head
+                # predicates are disjoint across units so provenance
+                # fragments never collide
+                for unit, (unit_stats, unit_prov) in zip(batch, results):
+                    stats.units_scheduled += 1
+                    stats.unit_rounds[unit.label] = (
+                        stats.unit_rounds.get(unit.label, 0) + unit_stats.iterations
+                    )
+                    stats.merge(unit_stats)
+                    provenance.update(unit_prov)
+    finally:
+        if executor is not None:
+            executor.shutdown(wait=True)

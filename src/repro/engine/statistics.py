@@ -50,6 +50,19 @@ class EvalStats:
     #: the only counter allowed to differ between the kernel and
     #: interpreter paths — everything else is bit-identical.
     kernel_launches: int = 0
+    #: Evaluation units run by the SCC scheduler (0 with ``--no-scc``).
+    units_scheduled: int = 0
+    #: Units that executed in a parallel batch (same condensation
+    #: depth, ``EngineOptions.parallel > 1``); a subset of
+    #: ``units_scheduled``.
+    units_parallel: int = 0
+    #: Units terminated by the component-local cut: every head boolean
+    #: of the unit fired, so the unit stopped before exhausting its
+    #: pass or fixpoint.
+    unit_early_exits: int = 0
+    #: Fixpoint rounds per evaluation unit, keyed by the unit's label
+    #: ("+"-joined sorted SCC members); ``iterations`` is their sum.
+    unit_rounds: dict[str, int] = field(default_factory=dict)
     #: Facts per derived predicate at fixpoint.
     fact_counts: dict[str, int] = field(default_factory=dict)
 
@@ -84,6 +97,11 @@ class EvalStats:
         self.scan_fallbacks += other.scan_fallbacks
         self.rules_retired += other.rules_retired
         self.kernel_launches += other.kernel_launches
+        self.units_scheduled += other.units_scheduled
+        self.units_parallel += other.units_parallel
+        self.unit_early_exits += other.unit_early_exits
+        for k, v in other.unit_rounds.items():
+            self.unit_rounds[k] = self.unit_rounds.get(k, 0) + v
         for k, v in other.fact_counts.items():
             self.fact_counts[k] = self.fact_counts.get(k, 0) + v
 
@@ -108,6 +126,10 @@ class EvalStats:
             "scan_fallbacks": self.scan_fallbacks,
             "rules_retired": self.rules_retired,
             "kernel_launches": self.kernel_launches,
+            "units_scheduled": self.units_scheduled,
+            "units_parallel": self.units_parallel,
+            "unit_early_exits": self.unit_early_exits,
+            "unit_rounds": dict(self.unit_rounds),
             "fact_counts": dict(self.fact_counts),
             "derivations": self.derivations,
             "join_work": self.join_work,
@@ -124,5 +146,6 @@ class EvalStats:
             f"probes={self.join_probes} scanned={self.rows_scanned} "
             f"idx={self.index_probes} builds={self.index_builds} "
             f"fallbacks={self.scan_fallbacks} retired={self.rules_retired} "
-            f"kernels={self.kernel_launches}"
+            f"kernels={self.kernel_launches} units={self.units_scheduled} "
+            f"unit_exits={self.unit_early_exits}"
         )

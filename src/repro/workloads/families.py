@@ -27,6 +27,8 @@ __all__ = [
     "win_move_stratified",
     "bounded_source_tc",
     "two_level_chain",
+    "boolean_chain",
+    "sibling_components",
     "all_families",
 ]
 
@@ -173,6 +175,38 @@ def two_level_chain() -> Program:
     )
 
 
+def boolean_chain(k: int = 3) -> Program:
+    """A chain of *k* non-recursive boolean guards below a query — the
+    multi-component boolean family of section 3.1.
+
+    The query rule is listed *first*, so the monolithic stratum loop
+    needs one round per chain level before ``q`` can fire (k+2 rounds
+    total); the SCC scheduler orders the chain topologically and fires
+    every rule exactly once.
+    """
+    rules = [f"q(X) :- item(X), b{k}()."]
+    for i in range(k, 1, -1):
+        rules.append(f"b{i}() :- c{i}(U, V), b{i - 1}().")
+    rules.append("b1() :- c1(U, V), mark(V).")
+    rules.append("?- q(X).")
+    return parse("\n".join(rules))
+
+
+def sibling_components(k: int = 3) -> Program:
+    """*k* independent transitive closures feeding one query — ≥3
+    sibling SCC units at the same condensation depth, the shape the
+    scheduler can evaluate concurrently (``EngineOptions.parallel``).
+    """
+    rules = []
+    for i in range(1, k + 1):
+        rules.append(f"tc{i}(X, Y) :- edge{i}(X, Y).")
+        rules.append(f"tc{i}(X, Y) :- edge{i}(X, Z), tc{i}(Z, Y).")
+    body = ", ".join(f"tc{i}(X, A{i})" for i in range(1, k + 1))
+    rules.append(f"q(X) :- {body}.")
+    rules.append("?- q(X).")
+    return parse("\n".join(rules))
+
+
 def all_families() -> dict[str, Program]:
     """Every family at default parameters, keyed by name."""
     return {
@@ -189,4 +223,6 @@ def all_families() -> dict[str, Program]:
         "win_move_stratified": win_move_stratified(),
         "bounded_source_tc": bounded_source_tc(),
         "two_level_chain": two_level_chain(),
+        "boolean_chain": boolean_chain(),
+        "sibling_components": sibling_components(),
     }

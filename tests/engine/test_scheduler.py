@@ -1,0 +1,215 @@
+"""Unit tests for the SCC-condensation component scheduler.
+
+Covers the scheduling guarantees the oracle suite cannot see from
+answers alone: the iteration accounting (scheduled rounds never exceed
+the monolithic loop's), the new unit counters, component-local cut
+termination, and determinism of parallel execution.
+"""
+
+import pytest
+
+from repro.datalog import Database, parse
+from repro.datalog.errors import ValidationError
+from repro.engine import EngineOptions, evaluate
+from repro.workloads.edb import random_edb
+from repro.workloads.families import all_families, boolean_chain, sibling_components
+
+#: EDB under which every level of the default boolean_chain fires
+CHAIN_DB = {
+    "item": [(1,), (2,)],
+    "c1": [(0, 1)],
+    "c2": [(0, 1)],
+    "c3": [(0, 1)],
+    "mark": [(1,)],
+}
+
+
+def both(program, db, **overrides):
+    scheduled = evaluate(program, db, EngineOptions(**overrides))
+    monolithic = evaluate(program, db, EngineOptions(use_scc=False, **overrides))
+    assert scheduled.answers() == monolithic.answers()
+    return scheduled, monolithic
+
+
+class TestIterationAccounting:
+    # sibling_components is excluded by design: its three *recursive*
+    # units run disjoint fixpoints whose rounds sum, while the
+    # monolithic loop interleaves all three per round and pays only the
+    # deepest one's count — that family's win is schedule length under
+    # --parallel (units at one depth share wall-clock), not total
+    # rounds.  Every other curated family must not regress.
+    SWEEP = sorted(set(all_families()) - {"sibling_components"})
+
+    @pytest.mark.parametrize("name", SWEEP)
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_scheduled_rounds_never_exceed_monolithic(self, name, seed):
+        program = all_families()[name]
+        db = random_edb(program, rows=20, domain=8, seed=seed)
+        scheduled, monolithic = both(program, db)
+        assert scheduled.stats.iterations <= monolithic.stats.iterations, name
+
+    def test_boolean_chain_strictly_fewer_rounds(self):
+        """The multi-component boolean family: the monolithic loop pays
+        one round per chain level (the query rule is listed first), the
+        scheduler fires every non-recursive unit exactly once, outside
+        any fixpoint loop."""
+        program = boolean_chain()
+        db = Database.from_dict(CHAIN_DB)
+        scheduled, monolithic = both(program, db)
+        assert scheduled.answers() == frozenset({(1,), (2,)})
+        assert scheduled.stats.iterations < monolithic.stats.iterations
+        assert scheduled.stats.iterations == 0  # four single-pass units
+        assert scheduled.stats.units_scheduled == 4
+
+    def test_unit_rounds_sum_to_iterations(self):
+        program = sibling_components()
+        db = random_edb(program, rows=20, domain=8, seed=3)
+        result = evaluate(program, db)
+        assert sum(result.stats.unit_rounds.values()) == result.stats.iterations
+        assert set(result.stats.unit_rounds) == {"tc1", "tc2", "tc3", "q"}
+
+
+class TestUnitCounters:
+    def test_units_scheduled_and_labels(self):
+        program = parse(
+            """
+            q(X) :- r(X, Y).
+            r(X, Y) :- s(X, Z), r(Z, Y).
+            r(X, Y) :- s(X, Y).
+            s(X, Y) :- base(X, Y).
+            ?- q(X).
+            """
+        )
+        db = Database.from_dict({"base": [(1, 2), (2, 3)]})
+        result = evaluate(program, db)
+        stats = result.stats
+        assert stats.units_scheduled == 3
+        assert stats.units_parallel == 0  # parallel=1
+        assert set(stats.unit_rounds) == {"s", "r", "q"}
+        # only the recursive unit iterates; s and q are single passes
+        assert stats.unit_rounds["s"] == 0 and stats.unit_rounds["q"] == 0
+        assert stats.unit_rounds["r"] == stats.iterations >= 1
+
+    def test_mutually_recursive_unit_has_joint_label(self):
+        program = parse(
+            """
+            even(X) :- zero(X).
+            even(Y) :- succ(X, Y), odd(X).
+            odd(Y) :- succ(X, Y), even(X).
+            ?- even(X).
+            """
+        )
+        db = Database.from_dict({"zero": [(0,)], "succ": [(0, 1), (1, 2), (2, 3)]})
+        result = evaluate(program, db)
+        assert "even+odd" in result.stats.unit_rounds
+        assert result.answers() == frozenset({(0,), (2,)})
+
+    def test_no_scc_mode_reports_no_units(self):
+        """--no-scc is the pre-scheduler engine: every new counter must
+        stay at its zero value so its stats are bit-comparable with
+        historical baselines."""
+        program = sibling_components()
+        db = random_edb(program, rows=15, domain=6, seed=0)
+        stats = evaluate(program, db, EngineOptions(use_scc=False)).stats
+        assert stats.units_scheduled == 0
+        assert stats.units_parallel == 0
+        assert stats.unit_early_exits == 0
+        assert stats.unit_rounds == {}
+
+    def test_parallel_requires_positive_width(self):
+        with pytest.raises(ValidationError):
+            EngineOptions(parallel=0)
+
+
+class TestComponentLocalCut:
+    def test_recursive_cut_unit_exits_mid_fixpoint(self):
+        """A recursive boolean unit stops as soon as its head fires,
+        even with delta facts still pending — the component-local
+        generalization of the existential cut."""
+        program = parse(
+            """
+            b :- link(U, V).
+            b :- link(U, W), b.
+            ?- b.
+            """
+        )
+        db = Database.from_dict({"link": [(1, 2), (2, 3), (3, 4)]})
+        opts = EngineOptions(cut_predicates=frozenset({"b"}))
+        result = evaluate(program, db, opts)
+        assert result.has_answer()
+        assert result.stats.unit_early_exits == 1
+        assert result.stats.iterations == 1  # first naive round only
+        assert result.stats.rules_retired == 2
+
+    def test_single_pass_cut_unit_skips_remaining_rules(self):
+        """In a non-recursive cut unit the pass stops between rules the
+        moment every head boolean is true; the untried rules retire
+        unfired."""
+        program = parse(
+            """
+            b :- c1(U).
+            b :- c2(U).
+            q(X) :- item(X), b.
+            ?- q(X).
+            """
+        )
+        db = Database.from_dict({"c1": [(1,)], "c2": [(1,), (2,)], "item": [(7,)]})
+        opts = EngineOptions(cut_predicates=frozenset({"b"}))
+        result = evaluate(program, db, opts)
+        assert result.answers() == frozenset({(7,)})
+        assert result.stats.unit_early_exits == 1
+        assert result.stats.rules_retired == 2
+        # the second rule never ran: its c2 scan would have cost 2 rows
+        assert result.stats.rule_firings == 2  # b via c1, q via item
+
+    def test_unsatisfied_cut_unit_runs_to_fixpoint(self):
+        program = parse(
+            """
+            b :- c1(U), never(U).
+            q(X) :- item(X), b.
+            ?- q(X).
+            """
+        )
+        db = Database.from_dict({"c1": [(1,)], "item": [(7,)]})
+        opts = EngineOptions(cut_predicates=frozenset({"b"}))
+        result = evaluate(program, db, opts)
+        assert result.answers() == frozenset()
+        assert result.stats.unit_early_exits == 0
+        assert result.stats.rules_retired == 0
+
+
+class TestDeterministicParallelism:
+    def test_parallel_runs_are_bit_identical(self):
+        """20 runs at --parallel 4 over >= 3 sibling recursive
+        components: answers and the complete counter dict (including
+        per-unit rounds) must be identical on every run — the thread
+        pool's completion order must never leak into results."""
+        program = sibling_components()
+        make_db = lambda: random_edb(program, rows=20, domain=8, seed=3)
+        opts = EngineOptions(parallel=4)
+        first = evaluate(program, make_db(), opts)
+        assert first.stats.units_parallel >= 3
+        for _ in range(19):
+            again = evaluate(program, make_db(), opts)
+            assert again.answers() == first.answers()
+            assert again.stats.as_dict() == first.stats.as_dict()
+
+    def test_parallel_differs_from_sequential_only_in_batch_counter(self):
+        program = sibling_components()
+        make_db = lambda: random_edb(program, rows=20, domain=8, seed=3)
+        seq = evaluate(program, make_db()).stats.as_dict()
+        par = evaluate(program, make_db(), EngineOptions(parallel=4)).stats.as_dict()
+        assert seq.pop("units_parallel") == 0
+        assert par.pop("units_parallel") == 3
+        assert seq == par
+
+    def test_parallel_provenance_matches_sequential(self):
+        program = sibling_components()
+        make_db = lambda: random_edb(program, rows=20, domain=8, seed=3)
+        seq = evaluate(
+            program, make_db(), EngineOptions(record_provenance=True)
+        )
+        par = evaluate(
+            program, make_db(), EngineOptions(record_provenance=True, parallel=4)
+        )
+        assert par.provenance == seq.provenance

@@ -5,27 +5,33 @@ set of a query over a database.  The oracle exploits that redundancy:
 evaluate a program under every applicable strategy, before and after
 the optimization pipeline, and assert the answer sets are identical.
 Any single unsound component (an index that drops rows, a delta plan
-that misses a derivation, a pipeline pass that changes the query)
-breaks the agreement and is reported with the strategy that diverged.
+that misses a derivation, a scheduler that runs a unit too early, a
+pipeline pass that changes the query) breaks the agreement and is
+reported with the strategy that diverged.
 
 Strategies covered:
 
 ``naive``
     Bottom-up, full re-evaluation each round.
-``seminaive``
-    Bottom-up with delta-rule specialization, hash indexes, and
-    compiled rule kernels — the default production engine.
+``scc-scheduler``
+    The default production engine: SCC-condensation scheduling over
+    delta-rule specialization, hash indexes, and compiled rule kernels.
+``seminaive-monolithic``
+    The same engine with scheduling disabled (``use_scc=False``, the
+    CLI's ``--no-scc``): each stratum runs as one monolithic semi-naive
+    fixpoint — the pre-scheduler engine, so unit scheduling is
+    differentially tested against the loop it replaced.
 ``seminaive-interp``
-    The same engine on the plan interpreter (``use_kernels=False``,
+    The scheduled engine on the plan interpreter (``use_kernels=False``,
     the CLI's ``--no-kernel``), so every generated kernel is
     differentially tested against the interpreter it replaced.
 ``seminaive-scan``
-    The same semi-naive loop forced onto full scans
+    The scheduled semi-naive loops forced onto full scans
     (``use_indexes=False``, the CLI's ``--no-index``), so index probe
     answering is differentially tested against plain filtering.
 ``seminaive-scan-interp``
-    Scans and the interpreter together — the seed engine's behaviour,
-    covering the scan-mode codegen as well.
+    Scans and the interpreter together — the seed engine's behaviour
+    plus scheduling, covering the scan-mode codegen as well.
 ``topdown``
     The tabled top-down (QSQR) evaluator — a completely independent
     implementation; skipped for programs with negation, which it does
@@ -34,31 +40,72 @@ Strategies covered:
 Each strategy also runs on the *optimized* program (answers projected
 onto the original query's needed positions), so the pipeline is tested
 against every engine, not just the default one.
+
+The ``REPRO_ORACLE_BASE`` environment variable overlays base engine
+options under every strategy (strategy-specific overrides win), e.g.
+``REPRO_ORACLE_BASE=no-kernel,parallel=4`` re-runs the whole oracle
+suite with the interpreter and a 4-thread unit scheduler.  CI uses this
+to sweep the engine flag matrix without duplicating the suite.
 """
 
 from __future__ import annotations
+
+import os
 
 from repro.core import optimize
 from repro.datalog import Database, Program
 from repro.engine import EngineOptions, evaluate
 from repro.engine.topdown import evaluate_topdown
 
-__all__ = ["STRATEGIES", "strategy_answers", "assert_all_agree"]
+__all__ = [
+    "STRATEGIES",
+    "BASE_OVERRIDES",
+    "engine_options",
+    "strategy_answers",
+    "assert_all_agree",
+]
 
 #: label -> EngineOptions overrides for the bottom-up engine
 STRATEGIES: dict[str, dict] = {
     "naive": {"strategy": "naive"},
-    "seminaive": {},
+    "scc-scheduler": {},
+    "seminaive-monolithic": {"use_scc": False},
     "seminaive-interp": {"use_kernels": False},
     "seminaive-scan": {"use_indexes": False},
     "seminaive-scan-interp": {"use_indexes": False, "use_kernels": False},
 }
 
 
+def _base_overrides() -> dict:
+    """Parse ``REPRO_ORACLE_BASE`` (comma-joined flags) once at import."""
+    out: dict = {}
+    spec = os.environ.get("REPRO_ORACLE_BASE", "")
+    for token in filter(None, (t.strip() for t in spec.split(","))):
+        if token == "no-scc":
+            out["use_scc"] = False
+        elif token == "no-kernel":
+            out["use_kernels"] = False
+        elif token == "no-index":
+            out["use_indexes"] = False
+        elif token.startswith("parallel="):
+            out["parallel"] = int(token.split("=", 1)[1])
+        else:
+            raise ValueError(f"unknown REPRO_ORACLE_BASE token {token!r}")
+    return out
+
+
+BASE_OVERRIDES: dict = _base_overrides()
+
+
+def engine_options(overrides: dict) -> EngineOptions:
+    """Strategy overrides layered over the suite-wide base overrides."""
+    return EngineOptions(**{**BASE_OVERRIDES, **overrides})
+
+
 def strategy_answers(program: Program, db: Database) -> dict[str, frozenset]:
     """Answer sets of *program* over *db* per evaluation strategy."""
     out = {
-        label: evaluate(program, db, EngineOptions(**overrides)).answers()
+        label: evaluate(program, db, engine_options(overrides)).answers()
         for label, overrides in STRATEGIES.items()
     }
     if not program.has_negation():
@@ -90,14 +137,14 @@ def assert_all_agree(program: Program, db: Database) -> frozenset:
 
     result = optimize(program)
     post = {
-        label: result.answers(db, **overrides)
+        label: result.answers(db, **{**BASE_OVERRIDES, **overrides})
         for label, overrides in STRATEGIES.items()
     }
     _assert_agree(post, "post-optimizer")
 
     reference = result.reference_answers(db)
-    assert post["seminaive"] == reference, (
-        f"optimizer changed the answers: optimized={len(post['seminaive'])} "
+    assert post["scc-scheduler"] == reference, (
+        f"optimizer changed the answers: optimized={len(post['scc-scheduler'])} "
         f"reference={len(reference)}"
     )
     return reference
