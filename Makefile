@@ -1,13 +1,16 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test oracle check bench report
+.PHONY: test oracle faults check bench report
 
 test:  ## tier-1 test suite
 	$(PYTHON) -m pytest -x -q
 
 oracle:  ## differential oracle suite (fixed Hypothesis randomness)
 	$(PYTHON) -m pytest tests/oracle -q --hypothesis-seed=0
+
+faults:  ## robustness suites: governor limits, fault injection, oracle property
+	$(PYTHON) -m pytest tests/engine/test_governor.py tests/engine/test_faults.py tests/oracle/test_faults.py -q
 
 # The gate: tier-1 plus the oracle suite, all Hypothesis runs pinned
 # to a fixed seed so `make check` is reproducible run to run.

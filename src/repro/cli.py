@@ -22,9 +22,15 @@ from typing import Optional, Sequence
 from .core.pipeline import optimize
 from .datalog import Database, Program, ReproError, parse
 from .datalog.parser import split_facts
-from .engine import EngineOptions, evaluate
+from .engine import EngineOptions, ResourceExhausted, evaluate, parse_fault_specs
 
 __all__ = ["main"]
+
+#: exit code for a governed run that hit a resource limit under
+#: ``--on-limit raise`` — distinct from 2 (usage / input errors) so
+#: scripts can tell "the query was too expensive" from "the query was
+#: wrong"
+EXIT_RESOURCE_EXHAUSTED = 3
 
 
 def _load_program(path: str) -> Program:
@@ -77,16 +83,35 @@ def _cmd_run(args) -> int:
         use_kernels=not args.no_kernel,
         use_scc=not args.no_scc,
         parallel=args.parallel,
+        deadline_s=args.deadline,
+        max_facts=args.max_facts,
+        max_delta_rows=args.max_delta_rows,
+        on_limit=args.on_limit,
     )
-    if args.optimize:
-        result = optimize(program)
-        evaluation = result.evaluate(db, **engine)
-        answers = result.answers(db, **engine)
-    else:
-        evaluation = evaluate(program, db, EngineOptions(**engine))
-        answers = evaluation.answers()
+    if args.inject_fault:
+        engine["fault_plan"] = parse_fault_specs(args.inject_fault)
+    try:
+        if args.optimize:
+            result = optimize(program)
+            evaluation = result.evaluate(db, **engine)
+            answers = result.answers(db, **engine)
+        else:
+            evaluation = evaluate(program, db, EngineOptions(**engine))
+            answers = evaluation.answers()
+    except ResourceExhausted as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        if exc.stats is not None:
+            print(f"-- partial work before abort: {exc.stats.summary()}", file=sys.stderr)
+        return EXIT_RESOURCE_EXHAUSTED
     for row in sorted(answers, key=repr):
         print(", ".join(map(str, row)))
+    if evaluation.is_partial:
+        print(
+            f"-- PARTIAL RESULT (lower bound): evaluation aborted by "
+            f"{evaluation.stats.aborted_reason} limit; absent answers are "
+            f"unknown, not false",
+            file=sys.stderr,
+        )
     if args.stats:
         print(f"-- {evaluation.stats.summary()}", file=sys.stderr)
     return 0
@@ -195,6 +220,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="evaluate independent SCC units (same condensation depth) "
         "on a thread pool of N workers (default 1; implies SCC "
         "scheduling; results are deterministic for any N)",
+    )
+    p_run.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="S",
+        help="wall-clock budget in seconds; on expiry the run is "
+        "cancelled cooperatively at the next iteration/unit/rule "
+        "boundary (see --on-limit)",
+    )
+    p_run.add_argument(
+        "--max-facts",
+        type=int,
+        default=None,
+        metavar="N",
+        help="derivation budget: abort once more than N facts have "
+        "been derived (checked periodically between rule firings; may "
+        "overshoot by a few firings' worth)",
+    )
+    p_run.add_argument(
+        "--max-delta-rows",
+        type=int,
+        default=None,
+        metavar="N",
+        help="abort once more than N rows have entered semi-naive "
+        "delta frontiers (trips early on geometrically growing "
+        "recursions)",
+    )
+    p_run.add_argument(
+        "--on-limit",
+        choices=("raise", "partial"),
+        default="raise",
+        help="what a tripped limit does: 'raise' exits with code 3 and "
+        "a structured ResourceExhausted message; 'partial' prints the "
+        "best-effort answers flagged as a lower bound (default: raise)",
+    )
+    p_run.add_argument(
+        "--inject-fault",
+        action="append",
+        default=[],
+        metavar="SPEC",
+        help="deterministically inject a fault to exercise the "
+        "degradation ladder; repeatable.  SPEC is kernel-compile[:pred], "
+        "index-build, scheduler, worker-death:N, unit-error:N, or "
+        "slow-unit:N[:seconds]",
     )
     p_run.set_defaults(fn=_cmd_run)
 

@@ -15,6 +15,16 @@ Public entry point: :func:`evaluate`.
 """
 
 from .evaluator import EngineOptions, EvalResult, answers_of, evaluate
+from .faults import (
+    FaultInjector,
+    FaultPlan,
+    InjectedFault,
+    InjectedUnitError,
+    SchedulerFault,
+    WorkerDeath,
+    parse_fault_specs,
+)
+from .governor import Governor, Guard, ResourceExhausted
 from .kernel import (
     KernelError,
     clear_kernel_cache,
@@ -33,6 +43,16 @@ __all__ = [
     "EvalResult",
     "evaluate",
     "answers_of",
+    "Governor",
+    "Guard",
+    "ResourceExhausted",
+    "FaultPlan",
+    "FaultInjector",
+    "InjectedFault",
+    "InjectedUnitError",
+    "SchedulerFault",
+    "WorkerDeath",
+    "parse_fault_specs",
     "CompiledRule",
     "DeltaIndex",
     "LiteralPlan",

@@ -28,7 +28,7 @@ loop, counter-for-counter identical to earlier releases.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from ..datalog.analysis import analyze, stratify
@@ -36,6 +36,8 @@ from ..datalog.ast import Atom, Program
 from ..datalog.database import Database
 from ..datalog.errors import EvaluationError, ValidationError
 from ..datalog.terms import Constant, Variable
+from .faults import FaultInjector, FaultPlan, SchedulerFault
+from .governor import BudgetExceeded, Governor, ResourceExhausted
 from .plan import CompiledRule, compile_rule
 from .provenance import DerivationTree, derivation_tree
 from .scheduler import run_monolithic, run_scheduled
@@ -84,11 +86,39 @@ class EngineOptions:
         Record a first justification per derived fact, enabling
         :meth:`EvalResult.derivation`.
     max_iterations
-        Abort with :class:`EvaluationError` if the fixpoint does not
-        converge within this many iterations (None = unbounded).  All
-        safe Datalog programs converge; the bound exists to fail fast on
-        engine bugs.  Under SCC scheduling each unit has its own
-        iteration counter, so the bound is per-unit.
+        One **global** bound on fixpoint rounds across the whole run
+        (None = unbounded): under SCC scheduling the rounds of every
+        evaluation unit count against it, and under the monolithic
+        loop it bounds ``stats.iterations`` directly — the two engines
+        enforce the same documented quantity.  All safe Datalog
+        programs converge; the bound exists to stop pathological or
+        adversarial fixpoints cleanly (:class:`ResourceExhausted`,
+        honoring ``on_limit``).
+    max_unit_iterations
+        Per-unit round bound under SCC scheduling (the knob the old
+        per-unit ``max_iterations`` semantics became); the monolithic
+        loop treats each stratum's fixpoint as one unit, where this
+        coincides with the global bound.
+    deadline_s
+        Wall-clock budget in seconds for the whole evaluation,
+        enforced by cooperative cancellation at iteration, per-unit,
+        and between-rule boundaries (see
+        :mod:`repro.engine.governor`).
+    max_facts / max_delta_rows
+        Derivation budgets: total facts derived, and total rows
+        entering semi-naive delta frontiers.  Enforced at governor
+        checkpoints; a run may overshoot by the in-flight rule firing.
+    on_limit
+        What a tripped limit does: ``"raise"`` (default) raises
+        :class:`ResourceExhausted` carrying the partial stats and the
+        offending unit/stratum; ``"partial"`` returns a best-effort
+        :class:`EvalResult` with ``stats.aborted_reason`` set, whose
+        answers are a sound lower bound.
+    fault_plan
+        A :class:`~repro.engine.faults.FaultPlan` of deterministic
+        faults to inject, exercising the degradation ladder
+        (kernel→interpreter, index→scan, SCC→monolithic,
+        parallel→sequential).  None (default) injects nothing.
     """
 
     strategy: str = "seminaive"
@@ -99,26 +129,62 @@ class EngineOptions:
     parallel: int = 1
     record_provenance: bool = False
     max_iterations: Optional[int] = None
+    max_unit_iterations: Optional[int] = None
+    deadline_s: Optional[float] = None
+    max_facts: Optional[int] = None
+    max_delta_rows: Optional[int] = None
+    on_limit: str = "raise"
+    fault_plan: Optional[FaultPlan] = None
 
     def __post_init__(self):
         if self.strategy not in ("seminaive", "naive"):
             raise ValidationError(f"unknown strategy {self.strategy!r}")
         if self.parallel < 1:
             raise ValidationError(f"parallel must be >= 1, got {self.parallel}")
+        if self.on_limit not in ("raise", "partial"):
+            raise ValidationError(
+                f"on_limit must be 'raise' or 'partial', got {self.on_limit!r}"
+            )
+        for name in ("max_iterations", "max_unit_iterations", "max_facts",
+                     "max_delta_rows"):
+            value = getattr(self, name)
+            if value is not None and value < 0:
+                raise ValidationError(f"{name} must be >= 0, got {value}")
+        if self.deadline_s is not None and self.deadline_s < 0:
+            raise ValidationError(f"deadline_s must be >= 0, got {self.deadline_s}")
         object.__setattr__(self, "cut_predicates", frozenset(self.cut_predicates))
 
 
 @dataclass
 class EvalResult:
-    """The fixpoint database plus run metadata."""
+    """The fixpoint database plus run metadata.
+
+    A result may be **partial**: under ``on_limit="partial"`` a run
+    that tripped a governor limit returns with
+    ``stats.aborted_reason`` set (and :attr:`is_partial` True).  Every
+    fact in a partial result is a true consequence of the program —
+    bottom-up evaluation only adds sound facts — but the fixpoint was
+    not reached, so facts and answers are a *lower bound*: absent
+    tuples are unknown, not false.
+    """
 
     program: Program
     db: Database
     stats: EvalStats
     provenance: dict = field(default_factory=dict)
+    #: whether the run recorded provenance (``record_provenance=True``);
+    #: distinguishes "no justification recorded" from "not derived"
+    provenance_recorded: bool = False
+
+    @property
+    def is_partial(self) -> bool:
+        """True iff the run stopped at a resource limit before the
+        fixpoint; answers are then a sound lower bound."""
+        return self.stats.aborted_reason is not None
 
     def facts(self, predicate: str) -> frozenset[tuple]:
-        """All rows of *predicate* at fixpoint."""
+        """All rows of *predicate* at fixpoint (a lower bound if
+        :attr:`is_partial`)."""
         return self.db.rows(predicate)
 
     def answers(self, query: Optional[Atom] = None) -> frozenset[tuple]:
@@ -126,7 +192,9 @@ class EvalResult:
 
         Constants in the query act as selections; the result tuples
         list the values of the query's distinct variables in order of
-        first occurrence.  Defaults to the program's query atom.
+        first occurrence.  Defaults to the program's query atom.  If
+        :attr:`is_partial`, the set is a sound lower bound of the true
+        answer set.
         """
         q = query if query is not None else self.program.query
         if q is None:
@@ -139,10 +207,19 @@ class EvalResult:
     def derivation(self, predicate: str, row: tuple) -> DerivationTree:
         """The recorded derivation tree of ``predicate(row)``.
 
-        Requires ``record_provenance=True`` at evaluation time.
+        Requires ``record_provenance=True`` at evaluation time; asking
+        for a derived fact's tree without it is an
+        :class:`~repro.datalog.errors.EvaluationError` ("provenance
+        not recorded"), not a silently empty tree.
         """
-        if (predicate, row) not in self.provenance and row not in self.db.rows(predicate):
-            raise EvaluationError(f"fact {predicate}{row!r} was not derived")
+        if (predicate, row) not in self.provenance:
+            if row not in self.db.rows(predicate):
+                raise EvaluationError(f"fact {predicate}{row!r} was not derived")
+            if not self.provenance_recorded:
+                raise EvaluationError(
+                    f"provenance not recorded: evaluate with "
+                    f"record_provenance=True to explain {predicate}{row!r}"
+                )
         return derivation_tree(self.provenance, predicate, row)
 
 
@@ -194,6 +271,23 @@ def evaluate(
     stats = EvalStats()
     provenance: dict = {}
 
+    # The governor owns every runtime limit and the fault plan; with
+    # neither configured it is disabled and costs one attribute test
+    # per checkpoint.  The injector is per-run state, so a reused
+    # EngineOptions sees its one-shot faults fresh each evaluation.
+    injector = (
+        FaultInjector(opts.fault_plan)
+        if opts.fault_plan is not None and opts.fault_plan.any()
+        else None
+    )
+    governor = Governor(opts, injector)
+    if injector is not None and injector.index_build_fails():
+        # index→scan rung: hash-index construction "failed", so the
+        # whole run degrades to full-scan probing — same answers,
+        # different work counters
+        injector.record(stats, "index->scan")
+        opts = replace(opts, use_indexes=False)
+
     # Make sure every derived predicate has a relation, so that empty
     # results are observable and plans never miss a relation.
     arities = program.arities()
@@ -234,14 +328,40 @@ def evaluate(
     else:
         strata = [compiled] if compiled else []
 
-    if opts.use_scc:
-        run_scheduled(strata, info, db, stats, provenance, opts)
-    else:
-        run_monolithic(strata, db, stats, provenance, opts)
+    def finalize() -> None:
+        for pred in program.idb_predicates():
+            stats.fact_counts[pred] = len(db.rows(pred))
+        # Shared base relations may carry builds from earlier runs
+        # (that is the point of sharing them); only builds during this
+        # run count.
+        stats.index_builds = db.index_builds() - builds_before
 
-    for pred in program.idb_predicates():
-        stats.fact_counts[pred] = len(db.rows(pred))
-    # Shared base relations may carry builds from earlier runs (that is
-    # the point of sharing them); only builds during this run count.
-    stats.index_builds = db.index_builds() - builds_before
-    return EvalResult(program, db, stats, provenance)
+    try:
+        if opts.use_scc:
+            try:
+                run_scheduled(strata, info, db, stats, provenance, opts, governor)
+            except SchedulerFault:
+                # SCC→monolithic rung: scheduling failed before any
+                # unit ran, so the stratum loop takes over from the
+                # same (untouched) database state
+                injector.record(stats, "scc->monolithic")
+                run_monolithic(strata, db, stats, provenance, opts, governor)
+        else:
+            run_monolithic(strata, db, stats, provenance, opts, governor)
+    except BudgetExceeded as exc:
+        finalize()
+        if opts.on_limit == "partial":
+            stats.aborted_reason = exc.reason
+            return EvalResult(
+                program, db, stats, provenance,
+                provenance_recorded=opts.record_provenance,
+            )
+        raise ResourceExhausted(
+            exc.reason, stats=stats, unit=exc.unit, stratum=exc.stratum
+        ) from None
+
+    finalize()
+    return EvalResult(
+        program, db, stats, provenance,
+        provenance_recorded=opts.record_provenance,
+    )

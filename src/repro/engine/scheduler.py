@@ -32,6 +32,19 @@ the SCC condensation DAG in topological order:
 (the CLI's ``--no-scc``); every ``EvalStats`` counter it produces is
 bit-identical to the pre-scheduler engine, which keeps it available as
 the differential oracle for the scheduler itself.
+
+Both loops are *governed*: they accept a
+:class:`~repro.engine.governor.Governor` whose cooperative checkpoints
+run at iteration boundaries, per-unit boundaries, and between rule
+firings.  With no limits configured the governor is disabled and every
+checkpoint is a single attribute test, keeping the ungoverned hot path
+unchanged.  Failure handling under scheduling is structured: a unit
+that raises — a tripped budget, an injected fault, or a genuine bug —
+has its exception *captured*, its partial statistics and provenance
+merged at the depth barrier like any other unit's, and the first
+failure in deterministic unit order re-raised afterwards (recoverable
+:class:`~repro.engine.faults.WorkerDeath` faults are instead retried
+sequentially — the parallel→sequential degradation rung).
 """
 
 from __future__ import annotations
@@ -48,8 +61,9 @@ from ..datalog.analysis import (
 )
 from ..datalog.builtins import eval_builtin
 from ..datalog.database import Database
-from ..datalog.errors import EvaluationError
 from ..datalog.terms import Constant
+from .faults import SchedulerFault, WorkerDeath
+from .governor import BudgetExceeded, Governor, Guard
 from .kernel import rule_kernel
 from .plan import CompiledRule, DeltaIndex, match_plan
 from .provenance import Justification
@@ -72,6 +86,7 @@ def _fire(
     opts,
     added: dict[str, set],
     delta: Optional[DeltaIndex] = None,
+    guard: Optional[Guard] = None,
 ) -> None:
     """Run one plan of one rule, inserting new head facts.
 
@@ -80,11 +95,26 @@ def _fire(
     ``opts.use_kernels`` the plan runs as a compiled kernel (built-ins,
     negation, and head construction are inside the kernel body); the
     interpreter below is the fallback and the differential oracle.
+
+    *guard* is the governor's per-unit view: its checkpoint here is
+    the between-rules cancellation boundary (deadline / fact budget /
+    cross-thread cancel), and it decides the kernel→interpreter
+    degradation when a kernel-compile fault is injected.
     """
     head_pred = cr.rule.head.predicate
     rel = db.relation(head_pred)
     assert rel is not None
-    if opts.use_kernels:
+    if guard is not None:
+        guard.checkpoint(stats)
+    use_kernels = opts.use_kernels
+    if (
+        use_kernels
+        and guard is not None
+        and guard.governor.injector is not None
+        and guard.kernel_fault(stats, head_pred)
+    ):
+        use_kernels = False
+    if use_kernels:
         kernel = rule_kernel(
             cr,
             plan_id,
@@ -171,14 +201,6 @@ def _negatives_hold(cr: CompiledRule, db: Database, subst: dict, stats: EvalStat
     return True
 
 
-def _check_budget(stats: EvalStats, opts) -> None:
-    stats.iterations += 1
-    if opts.max_iterations is not None and stats.iterations > opts.max_iterations:
-        raise EvaluationError(
-            f"fixpoint did not converge within {opts.max_iterations} iterations"
-        )
-
-
 class _Retirer:
     """Removes satisfied boolean (cut) rules from the active set.
 
@@ -239,12 +261,12 @@ class _Retirer:
 # ---------------------------------------------------------------------------
 
 
-def _naive_loop(active, db, stats, provenance, opts, retire) -> None:
+def _naive_loop(active, db, stats, provenance, opts, retire, guard) -> None:
     while True:
-        _check_budget(stats, opts)
+        guard.iteration(stats)
         added: dict[str, set] = {}
         for cr in active:
-            _fire(cr, None, db, stats, provenance, opts, added)
+            _fire(cr, None, db, stats, provenance, opts, added, guard=guard)
         active = retire.filter(active, db)
         if not any(added.values()):
             return
@@ -257,7 +279,8 @@ def _naive_loop(active, db, stats, provenance, opts, retire) -> None:
 
 
 def _seminaive_loop(
-    active, db, stats, provenance, opts, retire, recursive: Optional[frozenset] = None
+    active, db, stats, provenance, opts, retire, guard,
+    recursive: Optional[frozenset] = None,
 ) -> None:
     # Specialize each rule once per *recursive* literal — a body
     # position whose predicate can still change while this loop runs.
@@ -275,10 +298,10 @@ def _seminaive_loop(
 
     # First round is naive: it also accounts for initial IDB facts,
     # which uniform-equivalence inputs may contain.
-    _check_budget(stats, opts)
+    guard.iteration(stats)
     delta: dict[str, set] = {}
     for cr in active:
-        _fire(cr, None, db, stats, provenance, opts, delta)
+        _fire(cr, None, db, stats, provenance, opts, delta, guard=guard)
     active = retire.filter(active, db)
 
     alive = set(map(id, active))
@@ -289,7 +312,7 @@ def _seminaive_loop(
             # rediscover facts nobody will read
             stats.unit_early_exits += 1
             return
-        _check_budget(stats, opts)
+        guard.iteration(stats, delta)
         # One shared DeltaIndex per changed predicate: every rule
         # specialization probing that frontier this round reuses the
         # same lazily built position groupings.
@@ -311,12 +334,13 @@ def _seminaive_loop(
                     opts,
                     delta,
                     delta=frontier,
+                    guard=guard,
                 )
         active = retire.filter(active, db)
         alive = set(map(id, active))
 
 
-def _single_pass(active, db, stats, provenance, opts, retire) -> None:
+def _single_pass(active, db, stats, provenance, opts, retire, guard) -> None:
     """One naive pass over a non-recursive unit's rules.
 
     Every input relation is complete when the unit is scheduled and the
@@ -335,7 +359,7 @@ def _single_pass(active, db, stats, provenance, opts, retire) -> None:
             stats.unit_early_exits += 1
             retire.retire_all(active)
             return
-        _fire(cr, None, db, stats, provenance, opts, added)
+        _fire(cr, None, db, stats, provenance, opts, added, guard=guard)
 
 
 # ---------------------------------------------------------------------------
@@ -343,23 +367,33 @@ def _single_pass(active, db, stats, provenance, opts, retire) -> None:
 # ---------------------------------------------------------------------------
 
 
-def run_monolithic(strata, db, stats, provenance, opts) -> None:
+def run_monolithic(strata, db, stats, provenance, opts, governor=None) -> None:
     """Evaluate each stratum as one fixpoint over all its rules.
 
     This is the pre-scheduler engine, kept verbatim: with
-    ``use_scc=False`` every counter is bit-identical to the previous
-    releases, which makes this loop the differential oracle for
-    :func:`run_scheduled`.
+    ``use_scc=False`` and no governor limits every counter is
+    bit-identical to the previous releases, which makes this loop the
+    differential oracle for :func:`run_scheduled`.  The whole loop is
+    one "unit" per stratum as far as the governor is concerned, so
+    ``max_iterations`` (global) and ``max_unit_iterations`` coincide
+    here — both bound ``stats.iterations``.
     """
+    governor = governor if governor is not None else Governor(opts)
+    guard = governor.guard()
     retire = _Retirer(opts.cut_predicates, stats)
-    for stratum_rules in strata:
+    for stratum_index, stratum_rules in enumerate(strata):
         active = retire.filter(stratum_rules, db)
         if not active:
             continue
-        if opts.strategy == "naive":
-            _naive_loop(active, db, stats, provenance, opts, retire)
-        else:
-            _seminaive_loop(active, db, stats, provenance, opts, retire)
+        try:
+            if opts.strategy == "naive":
+                _naive_loop(active, db, stats, provenance, opts, retire, guard)
+            else:
+                _seminaive_loop(active, db, stats, provenance, opts, retire, guard)
+        except BudgetExceeded as exc:
+            if exc.stratum is None:
+                exc.stratum = stratum_index
+            raise
 
 
 # ---------------------------------------------------------------------------
@@ -414,36 +448,64 @@ def build_units(stratum_rules, info: DependencyInfo, edges, component_of) -> lis
     return units
 
 
-def _run_unit(unit: EvalUnit, db: Database, opts) -> tuple[EvalStats, dict]:
+def _run_unit(
+    unit: EvalUnit, db: Database, opts, guard: Guard
+) -> tuple[EvalStats, dict, Optional[Exception]]:
     """Evaluate one unit to its local fixpoint.
 
-    Returns the unit's private statistics and provenance fragment; the
-    caller merges both at the depth barrier in unit order, so parallel
-    execution is observationally identical to sequential execution.
-    Thread-safety contract: the unit writes only the relations of its
-    own head predicates; every other relation it touches is read-only
-    for the duration of its depth level (lazy index builds on shared
-    relations are serialized inside :class:`~repro.datalog.database.Relation`).
+    Returns the unit's private statistics, provenance fragment, and —
+    instead of letting it escape the worker thread — any exception the
+    unit raised; the caller merges stats and provenance at the depth
+    barrier in unit order and re-raises the first captured failure, so
+    a dying unit can never deadlock the barrier or swallow its error,
+    and its partial counters stay mergeable.  Thread-safety contract:
+    the unit writes only the relations of its own head predicates;
+    every other relation it touches is read-only for the duration of
+    its depth level (lazy index builds on shared relations are
+    serialized inside :class:`~repro.datalog.database.Relation`).
     """
     stats = EvalStats()
     provenance: dict = {}
+    failure: Optional[Exception] = None
     retire = _Retirer(opts.cut_predicates, stats, unit_heads=unit.heads)
-    active = retire.filter(list(unit.rules), db)
-    if active:
-        if not unit.recursive:
-            _single_pass(active, db, stats, provenance, opts, retire)
-        elif opts.strategy == "naive":
-            _naive_loop(active, db, stats, provenance, opts, retire)
-        else:
-            _seminaive_loop(
-                active, db, stats, provenance, opts, retire, recursive=unit.members
-            )
-    if retire.unit_satisfied(db):
-        retire.retire_all(unit.rules)
-    return stats, provenance
+    try:
+        guard.unit_boundary(stats)
+        active = retire.filter(list(unit.rules), db)
+        if active:
+            if not unit.recursive:
+                _single_pass(active, db, stats, provenance, opts, retire, guard)
+            elif opts.strategy == "naive":
+                _naive_loop(active, db, stats, provenance, opts, retire, guard)
+            else:
+                _seminaive_loop(
+                    active, db, stats, provenance, opts, retire, guard,
+                    recursive=unit.members,
+                )
+        if retire.unit_satisfied(db):
+            retire.retire_all(unit.rules)
+    except Exception as exc:  # captured, not raised: the barrier decides
+        failure = exc
+    finally:
+        # make the fragment's unflushed counters visible to the other
+        # threads' budget estimates and retire its publish bookkeeping
+        # (the stats object's id may be reused by a later fragment)
+        guard.finish(stats)
+    return stats, provenance, failure
 
 
-def run_scheduled(strata, info: DependencyInfo, db, stats, provenance, opts) -> None:
+def _merge_unit(stats, provenance, unit, unit_stats, unit_prov) -> None:
+    """Fold one unit execution's private results into the run totals."""
+    stats.units_scheduled += 1
+    stats.unit_rounds[unit.label] = (
+        stats.unit_rounds.get(unit.label, 0) + unit_stats.iterations
+    )
+    stats.merge(unit_stats)
+    provenance.update(unit_prov)
+
+
+def run_scheduled(
+    strata, info: DependencyInfo, db, stats, provenance, opts, governor=None
+) -> None:
     """Evaluate every stratum as a topologically scheduled DAG of units.
 
     Units at the same condensation depth are independent; with
@@ -451,12 +513,27 @@ def run_scheduled(strata, info: DependencyInfo, db, stats, provenance, opts) -> 
     (statistics, provenance) are merged at the per-depth barrier in
     deterministic unit order, so per-unit counters are identical run to
     run regardless of thread interleaving.
+
+    Failure protocol (see :func:`_run_unit`): exceptions raised inside
+    units arrive at the barrier as captured values.  Every unit's
+    partial statistics are merged first; then a recoverable
+    :class:`~repro.engine.faults.WorkerDeath` triggers a sequential
+    re-run of the dead unit (sound because rule firing is monotone and
+    idempotent — re-deriving an already-inserted fact is a duplicate,
+    not an error), and any other failure — a governor trip or a
+    genuine error — is re-raised in unit order, original exception
+    object intact.
     """
+    governor = governor if governor is not None else Governor(opts)
+    injector = governor.injector
+    if injector is not None and injector.scheduler_fails():
+        raise SchedulerFault("injected SCC scheduling failure")
     edges = condensation(info)
     component_of = {p: i for i, scc in enumerate(info.sccs) for p in scc}
     executor: Optional[ThreadPoolExecutor] = None
+    ordinal = 0  # unit executions across the whole run, scheduling order
     try:
-        for stratum_rules in strata:
+        for stratum_index, stratum_rules in enumerate(strata):
             if not stratum_rules:
                 continue
             units = build_units(stratum_rules, info, edges, component_of)
@@ -465,26 +542,47 @@ def run_scheduled(strata, info: DependencyInfo, db, stats, provenance, opts) -> 
                 by_depth.setdefault(unit.depth, []).append(unit)
             for depth in sorted(by_depth):
                 batch = by_depth[depth]
+                guards = []
+                for unit in batch:
+                    guards.append(governor.guard(unit=unit.label, ordinal=ordinal))
+                    ordinal += 1
                 if opts.parallel > 1 and len(batch) > 1:
                     if executor is None:
                         executor = ThreadPoolExecutor(max_workers=opts.parallel)
                     futures = [
-                        executor.submit(_run_unit, unit, db, opts) for unit in batch
+                        executor.submit(_run_unit, unit, db, opts, guard)
+                        for unit, guard in zip(batch, guards)
                     ]
                     results = [f.result() for f in futures]
                     stats.units_parallel += len(batch)
                 else:
-                    results = [_run_unit(unit, db, opts) for unit in batch]
+                    results = [
+                        _run_unit(unit, db, opts, guard)
+                        for unit, guard in zip(batch, guards)
+                    ]
                 # barrier: merge in unit order (deterministic), head
                 # predicates are disjoint across units so provenance
-                # fragments never collide
-                for unit, (unit_stats, unit_prov) in zip(batch, results):
-                    stats.units_scheduled += 1
-                    stats.unit_rounds[unit.label] = (
-                        stats.unit_rounds.get(unit.label, 0) + unit_stats.iterations
-                    )
-                    stats.merge(unit_stats)
-                    provenance.update(unit_prov)
+                # fragments never collide; failures are handled after
+                # every unit's partial stats are in
+                pending: Optional[Exception] = None
+                for unit, guard, (unit_stats, unit_prov, failure) in zip(
+                    batch, guards, results
+                ):
+                    _merge_unit(stats, provenance, unit, unit_stats, unit_prov)
+                    if isinstance(failure, WorkerDeath):
+                        # parallel→sequential rung: the fault is one-shot,
+                        # so an inline re-run of the unit completes it
+                        injector.record(stats, "parallel->sequential", unit.label)
+                        retry_stats, retry_prov, failure = _run_unit(
+                            unit, db, opts, guard
+                        )
+                        _merge_unit(stats, provenance, unit, retry_stats, retry_prov)
+                    if failure is not None and pending is None:
+                        pending = failure
+                if pending is not None:
+                    if isinstance(pending, BudgetExceeded) and pending.stratum is None:
+                        pending.stratum = stratum_index
+                    raise pending
     finally:
         if executor is not None:
             executor.shutdown(wait=True)

@@ -13,6 +13,7 @@ paper reasons about alongside wall-clock time.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 __all__ = ["EvalStats"]
 
@@ -65,6 +66,22 @@ class EvalStats:
     unit_rounds: dict[str, int] = field(default_factory=dict)
     #: Facts per derived predicate at fixpoint.
     fact_counts: dict[str, int] = field(default_factory=dict)
+    #: Governor checkpoints performed (0 unless a limit was set or a
+    #: fault armed — the governor is free when idle).
+    governor_checks: int = 0
+    #: Faults fired by the run's :class:`~repro.engine.faults.FaultPlan`
+    #: (0 on un-faulted runs).
+    faults_injected: int = 0
+    #: Degradation-ladder rungs taken, keyed by rung
+    #: (``"kernel->interpreter"``, ``"index->scan"``,
+    #: ``"scc->monolithic"``, ``"parallel->sequential"``).
+    degradations: dict[str, int] = field(default_factory=dict)
+    #: Why the run stopped early under ``on_limit="partial"`` (the
+    #: governor's trip reason, e.g. ``"deadline"``); None when the run
+    #: reached its fixpoint.  A set value flags the result — and its
+    #: fact counts and answers — as a sound lower bound, not the
+    #: complete least fixpoint.
+    aborted_reason: Optional[str] = None
 
     @property
     def derivations(self) -> int:
@@ -100,10 +117,16 @@ class EvalStats:
         self.units_scheduled += other.units_scheduled
         self.units_parallel += other.units_parallel
         self.unit_early_exits += other.unit_early_exits
+        self.governor_checks += other.governor_checks
+        self.faults_injected += other.faults_injected
         for k, v in other.unit_rounds.items():
             self.unit_rounds[k] = self.unit_rounds.get(k, 0) + v
         for k, v in other.fact_counts.items():
             self.fact_counts[k] = self.fact_counts.get(k, 0) + v
+        for k, v in other.degradations.items():
+            self.degradations[k] = self.degradations.get(k, 0) + v
+        if self.aborted_reason is None:
+            self.aborted_reason = other.aborted_reason
 
     def as_dict(self, *, engine_invariant: bool = False) -> dict:
         """All counters as a plain dict (for JSON reports and the
@@ -131,16 +154,23 @@ class EvalStats:
             "unit_early_exits": self.unit_early_exits,
             "unit_rounds": dict(self.unit_rounds),
             "fact_counts": dict(self.fact_counts),
+            "governor_checks": self.governor_checks,
+            "faults_injected": self.faults_injected,
+            "degradations": dict(self.degradations),
+            "aborted_reason": self.aborted_reason,
             "derivations": self.derivations,
             "join_work": self.join_work,
         }
         if engine_invariant:
             del out["kernel_launches"]
+            # faulted degradations name the rung actually taken, which
+            # legitimately differs between engine configurations
+            del out["degradations"]
         return out
 
     def summary(self) -> str:
         """One-line human-readable summary used by benchmark output."""
-        return (
+        line = (
             f"iters={self.iterations} facts={self.facts_derived} "
             f"dups={self.duplicates} firings={self.rule_firings} "
             f"probes={self.join_probes} scanned={self.rows_scanned} "
@@ -149,3 +179,9 @@ class EvalStats:
             f"kernels={self.kernel_launches} units={self.units_scheduled} "
             f"unit_exits={self.unit_early_exits}"
         )
+        if self.faults_injected:
+            rungs = ",".join(sorted(self.degradations))
+            line += f" faults={self.faults_injected} degraded=[{rungs}]"
+        if self.aborted_reason is not None:
+            line += f" PARTIAL(aborted: {self.aborted_reason})"
+        return line

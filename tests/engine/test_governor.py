@@ -1,0 +1,275 @@
+"""Unit tests for the resource governor.
+
+Covers each limit (deadline, fact budget, delta budget, global and
+per-unit iteration bounds), both ``on_limit`` policies, the structured
+payload of :class:`ResourceExhausted`, and the guarantee that a
+governor with limits *set but not hit* changes no engine counter.
+"""
+
+import pytest
+
+from repro.datalog import Database, parse
+from repro.datalog.errors import EvaluationError, ValidationError
+from repro.engine import (
+    EngineOptions,
+    FaultPlan,
+    ResourceExhausted,
+    evaluate,
+)
+
+TC = """
+    tc(X, Y) :- edge(X, Y).
+    tc(X, Y) :- edge(X, Z), tc(Z, Y).
+    ?- tc(X, Y).
+"""
+
+SIBLINGS = """
+    tc1(X, Y) :- e1(X, Y).
+    tc1(X, Y) :- e1(X, Z), tc1(Z, Y).
+    tc2(X, Y) :- e2(X, Y).
+    tc2(X, Y) :- e2(X, Z), tc2(Z, Y).
+    q(X) :- tc1(X, Y), tc2(X, Y).
+    ?- q(X).
+"""
+
+
+def chain(n):
+    return [(i, i + 1) for i in range(n)]
+
+
+@pytest.fixture
+def tc():
+    return parse(TC), Database.from_dict({"edge": chain(20)})
+
+
+@pytest.fixture
+def siblings():
+    return parse(SIBLINGS), Database.from_dict({"e1": chain(8), "e2": chain(8)})
+
+
+class TestDeadline:
+    def test_zero_deadline_raises_structured_error(self, tc):
+        program, db = tc
+        with pytest.raises(ResourceExhausted) as exc:
+            evaluate(program, db, EngineOptions(deadline_s=0.0))
+        err = exc.value
+        assert err.reason == "deadline"
+        assert isinstance(err, EvaluationError)  # catchable as ReproError
+        assert err.stats is not None
+        assert err.stats.fact_counts  # finalized before raising
+        assert err.stratum == 0
+        assert err.unit == "tc"  # the offending unit, under scheduling
+
+    def test_zero_deadline_partial_is_flagged_lower_bound(self, tc):
+        program, db = tc
+        full = evaluate(program, db)
+        partial = evaluate(
+            program, db, EngineOptions(deadline_s=0.0, on_limit="partial")
+        )
+        assert partial.is_partial
+        assert partial.stats.aborted_reason == "deadline"
+        assert partial.answers() <= full.answers()
+        assert "PARTIAL" in partial.stats.summary()
+
+    def test_generous_deadline_never_trips(self, tc):
+        program, db = tc
+        result = evaluate(program, db, EngineOptions(deadline_s=300.0))
+        assert not result.is_partial
+        assert result.answers() == evaluate(program, db).answers()
+
+    def test_deadline_trips_inside_slowed_unit(self, tc):
+        """slow-unit + deadline: the deterministic way to make the
+        deadline fire inside a chosen unit — the error names it."""
+        program, db = tc
+        plan = FaultPlan(slow_unit=0, slow_s=0.05)
+        with pytest.raises(ResourceExhausted) as exc:
+            evaluate(
+                program, db, EngineOptions(deadline_s=0.01, fault_plan=plan)
+            )
+        assert exc.value.reason == "deadline"
+        assert exc.value.unit == "tc"
+
+    def test_monolithic_deadline_reports_no_unit(self, tc):
+        program, db = tc
+        with pytest.raises(ResourceExhausted) as exc:
+            evaluate(program, db, EngineOptions(deadline_s=0.0, use_scc=False))
+        assert exc.value.reason == "deadline"
+        assert exc.value.unit is None
+        assert exc.value.stratum == 0
+
+
+class TestDerivationBudgets:
+    def test_max_facts_raise(self, tc):
+        program, db = tc
+        with pytest.raises(ResourceExhausted) as exc:
+            evaluate(program, db, EngineOptions(max_facts=5))
+        assert exc.value.reason == "max_facts"
+
+    def test_max_facts_partial_is_subset(self, tc):
+        program, db = tc
+        full = evaluate(program, db)
+        partial = evaluate(
+            program, db, EngineOptions(max_facts=5, on_limit="partial")
+        )
+        assert partial.is_partial
+        assert partial.stats.aborted_reason == "max_facts"
+        assert partial.answers() < full.answers()
+        # enforcement is at rule-firing granularity: the budget may be
+        # overshot by at most the one firing in flight when it tripped,
+        # never by a whole extra round
+        assert partial.stats.facts_derived < full.stats.facts_derived
+
+    def test_max_delta_rows_trips_on_recursion(self, tc):
+        program, db = tc
+        with pytest.raises(ResourceExhausted) as exc:
+            evaluate(program, db, EngineOptions(max_delta_rows=3))
+        assert exc.value.reason == "max_delta_rows"
+
+    def test_budget_not_hit_is_invisible(self):
+        """Limits set far above the run's needs must not change any
+        engine counter except the governor's own check count.
+
+        Fresh EDBs per run: shared base relations deliberately carry
+        lazy index builds across runs, which would skew index_builds.
+        """
+        program = parse(TC)
+        plain = evaluate(
+            program, Database.from_dict({"edge": chain(20)})
+        )
+        governed = evaluate(
+            program,
+            Database.from_dict({"edge": chain(20)}),
+            EngineOptions(
+                deadline_s=300.0,
+                max_facts=10**9,
+                max_delta_rows=10**9,
+                max_iterations=10**6,
+                max_unit_iterations=10**6,
+            ),
+        )
+        assert governed.answers() == plain.answers()
+        a, b = plain.stats.as_dict(), governed.stats.as_dict()
+        assert a.pop("governor_checks") == 0
+        assert b.pop("governor_checks") > 0
+        assert a == b
+
+
+class TestIterationBounds:
+    """Satellite regression: ``max_iterations`` is one global bound
+    under both engines; ``max_unit_iterations`` is the per-unit knob
+    the old SCC behaviour turned into."""
+
+    def test_global_bound_is_global_under_scc(self, siblings):
+        program, db = siblings
+        baseline = evaluate(program, db)
+        total = baseline.stats.iterations
+        per_unit = max(baseline.stats.unit_rounds.values())
+        # the sibling units' rounds sum: the global count strictly
+        # exceeds any single unit's (the premise of the regression)
+        assert total > per_unit >= 2
+
+        # exactly the global count passes; one less trips — if the
+        # bound were still per-unit, max_iterations=total-1 (far above
+        # any single unit's rounds) would never trip
+        ok = evaluate(program, db, EngineOptions(max_iterations=total))
+        assert ok.answers() == baseline.answers()
+        with pytest.raises(ResourceExhausted) as exc:
+            evaluate(program, db, EngineOptions(max_iterations=total - 1))
+        assert exc.value.reason == "max_iterations"
+
+    def test_global_bound_matches_monolithic_count(self, siblings):
+        """The same global bound governs the monolithic loop: its
+        iteration total is its own stats.iterations, pinned here so
+        the two engines document one quantity."""
+        program, db = siblings
+        mono = evaluate(program, db, EngineOptions(use_scc=False))
+        total = mono.stats.iterations
+        ok = evaluate(
+            program, db, EngineOptions(use_scc=False, max_iterations=total)
+        )
+        assert ok.answers() == mono.answers()
+        with pytest.raises(ResourceExhausted) as exc:
+            evaluate(
+                program, db,
+                EngineOptions(use_scc=False, max_iterations=total - 1),
+            )
+        assert exc.value.reason == "max_iterations"
+
+    def test_per_unit_knob_bounds_single_units(self, siblings):
+        program, db = siblings
+        baseline = evaluate(program, db)
+        per_unit = max(baseline.stats.unit_rounds.values())
+        ok = evaluate(
+            program, db, EngineOptions(max_unit_iterations=per_unit)
+        )
+        assert ok.answers() == baseline.answers()
+        with pytest.raises(ResourceExhausted) as exc:
+            evaluate(
+                program, db, EngineOptions(max_unit_iterations=per_unit - 1)
+            )
+        assert exc.value.reason == "max_unit_iterations"
+        # the offending unit is one of the recursive siblings
+        assert exc.value.unit in {"tc1", "tc2"}
+
+    def test_resource_exhausted_is_evaluation_error(self, tc):
+        """Core passes guard divergent chase fixpoints with
+        max_iterations and catch EvaluationError; the governed error
+        must stay inside that hierarchy."""
+        program, db = tc
+        with pytest.raises(EvaluationError):
+            evaluate(program, db, EngineOptions(max_iterations=1))
+
+
+class TestOptionValidation:
+    def test_bad_on_limit_rejected(self):
+        with pytest.raises(ValidationError):
+            EngineOptions(on_limit="ignore")
+
+    @pytest.mark.parametrize(
+        "field", ["max_iterations", "max_unit_iterations", "max_facts",
+                  "max_delta_rows", "deadline_s"]
+    )
+    def test_negative_limits_rejected(self, field):
+        with pytest.raises(ValidationError):
+            EngineOptions(**{field: -1})
+
+
+class TestParallelGovernance:
+    def test_parallel_budget_trip_is_clean(self, siblings):
+        """A limit tripped by one parallel unit cancels the others
+        cooperatively; the error is structured, never a deadlock, and
+        carries merged partial stats."""
+        program, db = siblings
+        opts = EngineOptions(parallel=4, max_facts=3)
+        with pytest.raises(ResourceExhausted) as exc:
+            evaluate(program, db, opts)
+        assert exc.value.reason == "max_facts"
+        assert exc.value.stats is not None
+
+    def test_parallel_partial_is_subset(self, siblings):
+        program, db = siblings
+        full = evaluate(program, db)
+        partial = evaluate(
+            program, db,
+            EngineOptions(parallel=4, max_facts=3, on_limit="partial"),
+        )
+        assert partial.is_partial
+        assert partial.answers() <= full.answers()
+
+    def test_parallel_unhit_limits_stay_deterministic(self):
+        program = parse(SIBLINGS)
+        opts = EngineOptions(
+            parallel=4, deadline_s=300.0, max_facts=10**9
+        )
+
+        def run():
+            # fresh EDB per run: shared base relations carry lazy
+            # index builds across runs, which would skew index_builds
+            db = Database.from_dict({"e1": chain(8), "e2": chain(8)})
+            return evaluate(program, db, opts)
+
+        first = run()
+        for _ in range(5):
+            again = run()
+            assert again.answers() == first.answers()
+            assert again.stats.as_dict() == first.stats.as_dict()

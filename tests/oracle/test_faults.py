@@ -1,0 +1,178 @@
+"""Oracle property under faults and resource governance.
+
+The robustness contract: a governed or fault-injected run must end in
+exactly one of three ways —
+
+1. the **exact** oracle answer set (recoverable faults degrade a rung
+   but never change answers; generous limits never trip),
+2. a **flagged partial subset** (``on_limit="partial"``: the result
+   says it is a lower bound and every answer it does report is true),
+3. a **structured error** (:class:`ResourceExhausted` carrying partial
+   stats, or the injected genuine error surfacing verbatim).
+
+Never a silently wrong answer set, and never a superset — bottom-up
+derivation only ever adds true consequences, so even an aborted run's
+facts are sound.
+
+``REPRO_ORACLE_BASE`` overlays engine flags (no-kernel, no-scc,
+parallel=N, ...) so CI sweeps this suite across the same matrix as the
+differential oracle.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datalog.errors import EvaluationError
+from repro.engine import (
+    FaultPlan,
+    InjectedUnitError,
+    ResourceExhausted,
+    evaluate,
+)
+from repro.workloads.edb import random_edb
+from repro.workloads.families import all_families
+
+from .harness import engine_options
+
+FAMILIES = all_families()
+
+#: families exercising every engine shape: plain recursion, ≥3 sibling
+#: units at one condensation depth (parallel batches), and stratified
+#: negation (multi-stratum scheduling)
+WORKLOADS = ["right_linear_tc", "sibling_components", "win_move_stratified"]
+
+FAULT_PLANS = {
+    "none": FaultPlan(),
+    "kernel-all": FaultPlan(kernel_compile=frozenset(["*"])),
+    "kernel-one": FaultPlan(kernel_compile=frozenset(["tc"])),
+    "index": FaultPlan(index_build=True),
+    "scheduler": FaultPlan(scheduler=True),
+    "worker-death-0": FaultPlan(worker_death=0),
+    "worker-death-2": FaultPlan(worker_death=2),
+    "unit-error-0": FaultPlan(unit_error=0),
+    "slow-unit": FaultPlan(slow_unit=0, slow_s=0.001),
+    "stacked": FaultPlan(
+        kernel_compile=frozenset(["*"]), index_build=True, worker_death=1
+    ),
+}
+
+GOVERNOR_CONFIGS = {
+    "ungoverned": {},
+    "generous": {
+        "deadline_s": 300.0,
+        "max_facts": 10**9,
+        "max_delta_rows": 10**9,
+        "max_iterations": 10**6,
+    },
+    "tight-facts-raise": {"max_facts": 4, "on_limit": "raise"},
+    "tight-facts-partial": {"max_facts": 4, "on_limit": "partial"},
+    "tight-deadline-raise": {"deadline_s": 0.0, "on_limit": "raise"},
+    "tight-deadline-partial": {"deadline_s": 0.0, "on_limit": "partial"},
+    "tight-delta": {"max_delta_rows": 3, "on_limit": "partial"},
+    "tight-iterations": {"max_iterations": 2, "on_limit": "partial"},
+}
+
+
+def workload(name, seed=0):
+    program = FAMILIES[name]
+    return program, random_edb(program, rows=14, domain=7, seed=seed)
+
+
+def oracle_answers(name, seed=0):
+    program, db = workload(name, seed)
+    return evaluate(program, db).answers()
+
+
+def assert_property(program, db, opts, oracle, context):
+    """One governed/faulted run ends exact, flagged-partial, or
+    structured-error — never silently wrong, never a superset."""
+    try:
+        result = evaluate(program, db, opts)
+    except ResourceExhausted as exc:
+        # outcome 3a: structured limit error with partial accounting
+        assert exc.reason, context
+        assert exc.stats is not None, context
+        return
+    except InjectedUnitError:
+        # outcome 3b: the injected genuine defect surfaced verbatim
+        return
+    answers = result.answers()
+    if result.is_partial:
+        # outcome 2: flagged lower bound — sound, possibly incomplete
+        assert result.stats.aborted_reason, context
+        assert answers <= oracle, (
+            f"{context}: partial result is not a subset of the oracle "
+            f"(extra={sorted(answers - oracle)[:5]})"
+        )
+    else:
+        # outcome 1: unflagged runs must be exact, faults or not
+        assert answers == oracle, (
+            f"{context}: unflagged answers differ from oracle "
+            f"(extra={sorted(answers - oracle)[:5]}, "
+            f"missing={sorted(oracle - answers)[:5]})"
+        )
+
+
+@pytest.mark.parametrize("plan_name", sorted(FAULT_PLANS))
+@pytest.mark.parametrize("workload_name", WORKLOADS)
+def test_faults_preserve_oracle_property(workload_name, plan_name):
+    program, db = workload(workload_name)
+    oracle = oracle_answers(workload_name)
+    plan = FAULT_PLANS[plan_name]
+    opts = engine_options({"fault_plan": plan} if plan.any() else {})
+    assert_property(
+        program, db, opts, oracle, f"{workload_name}/{plan_name}"
+    )
+
+
+@pytest.mark.parametrize("config_name", sorted(GOVERNOR_CONFIGS))
+@pytest.mark.parametrize("workload_name", WORKLOADS)
+def test_governor_preserves_oracle_property(workload_name, config_name):
+    program, db = workload(workload_name)
+    oracle = oracle_answers(workload_name)
+    opts = engine_options(dict(GOVERNOR_CONFIGS[config_name]))
+    assert_property(
+        program, db, opts, oracle, f"{workload_name}/{config_name}"
+    )
+
+
+@pytest.mark.parametrize("workload_name", WORKLOADS)
+def test_faults_under_tight_budget(workload_name):
+    """Faults and limits together: degradation retries must respect
+    the budget, and the combined outcome still lands in the triad."""
+    program, db = workload(workload_name)
+    oracle = oracle_answers(workload_name)
+    for plan_name in ("kernel-all", "worker-death-0", "stacked"):
+        opts = engine_options(
+            {
+                "fault_plan": FAULT_PLANS[plan_name],
+                "max_facts": 6,
+                "on_limit": "partial",
+            }
+        )
+        assert_property(
+            program, db, opts, oracle,
+            f"{workload_name}/{plan_name}+tight",
+        )
+
+
+@pytest.mark.parametrize("workload_name", WORKLOADS)
+def test_parallel_faulted_runs_are_exact(workload_name):
+    """Recoverable faults under a 4-thread scheduler still produce the
+    exact fixpoint, repeatedly (10×: interleaving-independent)."""
+    program, db = workload(workload_name)
+    oracle = oracle_answers(workload_name)
+    plan = FaultPlan(kernel_compile=frozenset(["*"]), worker_death=0)
+    opts = engine_options({"parallel": 4, "fault_plan": plan})
+    for _ in range(10):
+        result = evaluate(program, db, opts)
+        assert result.answers() == oracle
+        assert not result.is_partial
+
+
+def test_bad_fault_spec_is_structured():
+    from repro.engine import parse_fault_specs
+
+    with pytest.raises(EvaluationError):
+        parse_fault_specs(["no-such-fault"])

@@ -94,6 +94,72 @@ class TestRun:
         assert "facts" in capsys.readouterr().err
 
 
+class TestGovernedRun:
+    """The resource-governor flags: exit code 3 on a tripped limit
+    under ``--on-limit raise``, flagged lower-bound output under
+    ``--on-limit partial``, fault injection, and spec validation."""
+
+    def test_zero_deadline_exits_3(self, files, capsys):
+        program, facts, _ = files
+        assert main(["run", str(program), str(facts), "--deadline", "0"]) == 3
+        err = capsys.readouterr().err
+        assert "ResourceExhausted" in err and "deadline" in err
+        assert "partial work before abort" in err
+
+    def test_max_facts_exits_3(self, files, capsys):
+        program, facts, _ = files
+        assert main(["run", str(program), str(facts), "--max-facts", "1"]) == 3
+        err = capsys.readouterr().err
+        assert "max_facts" in err
+
+    def test_partial_is_flagged_lower_bound(self, files, capsys):
+        program, facts, _ = files
+        rc = main(
+            ["run", str(program), str(facts),
+             "--max-facts", "1", "--on-limit", "partial"]
+        )
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "PARTIAL RESULT" in captured.err
+        assert "lower bound" in captured.err
+        # every printed answer must be a true answer of the full run
+        capsys.readouterr()
+        main(["run", str(program), str(facts)])
+        full = set(capsys.readouterr().out.splitlines())
+        assert set(captured.out.splitlines()) <= full
+
+    def test_generous_limits_change_nothing(self, files, capsys):
+        program, facts, _ = files
+        rc = main(
+            ["run", str(program), str(facts),
+             "--deadline", "3600", "--max-facts", "1000000",
+             "--max-delta-rows", "1000000"]
+        )
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert sorted(captured.out.strip().splitlines()) == ["1", "2", "7"]
+        assert "PARTIAL" not in captured.err
+
+    def test_injected_fault_degrades_not_wrong(self, files, capsys):
+        program, facts, _ = files
+        rc = main(
+            ["run", str(program), str(facts), "--stats",
+             "--inject-fault", "kernel-compile", "--inject-fault", "index-build"]
+        )
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert sorted(captured.out.strip().splitlines()) == ["1", "2", "7"]
+        assert "degraded" in captured.err
+
+    def test_bad_fault_spec_exits_2(self, files, capsys):
+        program, facts, _ = files
+        rc = main(
+            ["run", str(program), str(facts), "--inject-fault", "no-such"]
+        )
+        assert rc == 2
+        assert "fault" in capsys.readouterr().err
+
+
 class TestGrammar:
     def test_chain_program_report(self, files, capsys):
         _, _, chain = files

@@ -1,0 +1,101 @@
+"""The report harness degrades gracefully on damaged baselines.
+
+``benchmarks/run_report.py`` diffs fresh measurements against the
+committed ``BENCH_*.json`` files.  A missing or malformed baseline — a
+fresh checkout, an interrupted earlier run, merge damage — must not
+crash the report or fail the build: it warns, skips the comparison, and
+rewrites the file.  Only a *real* regression (an optimized
+configuration deriving more facts than a readable baseline recorded)
+may exit nonzero.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
+
+from run_report import (  # noqa: E402
+    VIOLATIONS,
+    check_against_baseline,
+    load_baseline,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_violations():
+    """The regression gate is a module global; isolate each test."""
+    VIOLATIONS.clear()
+    yield
+    VIOLATIONS.clear()
+
+
+class TestLoadBaseline:
+    def test_missing_file_warns_and_returns_none(self, tmp_path, capsys):
+        assert load_baseline(tmp_path / "BENCH_nope.json") is None
+        err = capsys.readouterr().err
+        assert "warning" in err and "BENCH_nope.json" in err
+
+    def test_malformed_json_warns_and_returns_none(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_bad.json"
+        path.write_text('{"family": {"config": ')  # truncated mid-write
+        assert load_baseline(path) is None
+        err = capsys.readouterr().err
+        assert "warning" in err and "unreadable" in err
+
+    def test_non_object_json_warns_and_returns_none(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_list.json"
+        path.write_text("[1, 2, 3]")
+        assert load_baseline(path) is None
+        assert "not a JSON object" in capsys.readouterr().err
+
+    def test_binary_garbage_warns_and_returns_none(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_bin.json"
+        path.write_bytes(bytes([0xC3, 0x28, 0x00, 0xFF]))
+        assert load_baseline(path) is None
+        assert "warning" in capsys.readouterr().err
+
+    def test_valid_baseline_round_trips(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_ok.json"
+        payload = {"tc-n60": {"scheduled": {"facts_derived": 1830}}}
+        path.write_text(json.dumps(payload))
+        assert load_baseline(path) == payload
+        assert capsys.readouterr().err == ""
+
+
+class TestCheckAgainstBaseline:
+    BASELINE = {"tc-n60": {"scheduled": {"facts_derived": 1830}}}
+
+    def test_none_baseline_is_skipped(self):
+        check_against_baseline("ENG", None, "tc-n60", "scheduled", 10**9)
+        assert VIOLATIONS == []
+
+    def test_matching_counts_pass(self):
+        check_against_baseline("ENG", self.BASELINE, "tc-n60", "scheduled", 1830)
+        assert VIOLATIONS == []
+
+    def test_fewer_facts_pass(self):
+        # optimization is allowed to *reduce* derived facts
+        check_against_baseline("ENG", self.BASELINE, "tc-n60", "scheduled", 1829)
+        assert VIOLATIONS == []
+
+    def test_extra_facts_is_a_real_regression(self):
+        check_against_baseline("ENG", self.BASELINE, "tc-n60", "scheduled", 1831)
+        assert len(VIOLATIONS) == 1
+        assert "1831" in VIOLATIONS[0] and "1830" in VIOLATIONS[0]
+
+    def test_unknown_family_or_config_skipped(self):
+        check_against_baseline("ENG", self.BASELINE, "new-family", "scheduled", 5)
+        check_against_baseline("ENG", self.BASELINE, "tc-n60", "new-config", 5)
+        assert VIOLATIONS == []
+
+    def test_hand_damaged_entries_skipped(self):
+        damaged = {
+            "tc-n60": "oops-not-a-dict",
+            "other": {"scheduled": {"facts_derived": "NaN"}},
+        }
+        check_against_baseline("ENG", damaged, "tc-n60", "scheduled", 5)
+        check_against_baseline("ENG", damaged, "other", "scheduled", 5)
+        assert VIOLATIONS == []
