@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test oracle faults check bench report
+.PHONY: test oracle faults check bench report lint
 
 test:  ## tier-1 test suite
 	$(PYTHON) -m pytest -x -q
@@ -17,6 +17,11 @@ faults:  ## robustness suites: governor limits, fault injection, oracle property
 check:
 	$(PYTHON) -m pytest -x -q --hypothesis-seed=0
 	$(PYTHON) -m pytest tests/oracle -q --hypothesis-seed=0
+
+lint:  ## static analysis: ruff + mypy over src, repro-lint over workloads
+	$(PYTHON) -m ruff check src tests benchmarks
+	$(PYTHON) -m mypy
+	$(PYTHON) scripts/lint_workloads.py
 
 bench:  ## statistically careful wall-clock benchmarks
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

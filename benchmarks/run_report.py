@@ -21,11 +21,9 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).parent))
 
 from repro.core.pipeline import optimize
-from repro.datalog import Database, parse
 from repro.engine import EngineOptions, evaluate
 from repro.engine.topdown import evaluate_topdown
 from repro.rewriting import magic_sets
-from repro.workloads.edb import random_edb
 
 import bench_example2_cut as e2
 import bench_example3_projection as e3

@@ -1,0 +1,40 @@
+#!/usr/bin/env python
+"""Gate: every workload family and paper example is ``lint --strict`` clean.
+
+Runs :func:`repro.analysis.lint_program` over each generated program
+and fails (exit 1) if any produces an error — or, under strict
+promotion, a warning.  Infos are expected: they are the optimizer
+narrating what it will do (existential positions, boolean subqueries,
+the monadic rewrite).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis import lint_program  # noqa: E402
+from repro.workloads import paper_examples  # noqa: E402
+from repro.workloads.families import all_families  # noqa: E402
+
+
+def main() -> int:
+    programs = dict(all_families())
+    programs["paper_example1"] = paper_examples.example1_program()
+    programs["paper_example2"] = paper_examples.example2_program()
+    programs["paper_example5"] = paper_examples.example5_program()
+    failed = 0
+    for name, program in sorted(programs.items()):
+        report = lint_program(program, source=name)
+        if report.exit_code(strict=True) != 0:
+            failed += 1
+            print(f"-- {name}: NOT strict-clean")
+            print(report.render_text())
+    print(f"linted {len(programs)} programs, {failed} failed")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

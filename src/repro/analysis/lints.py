@@ -1,0 +1,523 @@
+"""Layer 1 — program lints: what does the optimizer see?
+
+Each lint inspects the parsed (and, where meaningful, the adorned)
+program and reports a :class:`~repro.analysis.diagnostics.Diagnostic`
+instead of crashing or silently missing a rewrite:
+
+- *errors* are the pipeline's preconditions (safety, arity coherence,
+  stratification, a defined query predicate) surfaced with spans and
+  hints rather than bare exceptions;
+- *warnings* are almost-certainly-unintended constructs (undefined body
+  predicates that evaluate as empty relations, unreachable rules,
+  duplicate rules, repeated literals, Cartesian-product bodies,
+  negation of an empty predicate);
+- *infos* describe the paper's optimizations as they will apply:
+  existential (``d``) positions the adornment algorithm finds
+  (Lemma 2.2) and the arity savings of projection pushing (Lemma 3.2),
+  boolean subqueries the component split will extract (Lemma 3.1), and
+  the Theorem 3.3 monadic rewrite when the program is a chain program
+  with a regular grammar.
+
+The entry point is :func:`lint_program`; pass the known EDB predicate
+names (e.g. ``db.predicates()``) to enable the checks that need to
+distinguish "stored relation" from "never defined anywhere".
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..datalog.analysis import is_chain_program, reachable_predicates
+from ..datalog.ast import Atom, Program, Rule
+from ..datalog.builtins import is_builtin
+from ..datalog.errors import ReproError, ValidationError
+from ..datalog.terms import Variable
+from .diagnostics import CODES, Diagnostic, LintReport, Severity
+
+__all__ = ["lint_program"]
+
+
+def _diag(code: str, message: str, **kw) -> Diagnostic:
+    return Diagnostic(code, CODES[code].severity, message, **kw)
+
+
+def _canonical_rule(rule: Rule) -> tuple:
+    """A rename-invariant form: variables numbered in traversal order."""
+    mapping: dict[Variable, int] = {}
+
+    def canon(atom: Atom) -> tuple:
+        args = []
+        for t in atom.args:
+            if isinstance(t, Variable):
+                args.append(("v", mapping.setdefault(t, len(mapping))))
+            else:
+                args.append(("c", t.value))  # type: ignore[union-attr]
+        return (atom.predicate, tuple(args))
+
+    return (
+        canon(rule.head),
+        tuple(canon(a) for a in rule.body),
+        tuple(canon(a) for a in rule.negative),
+    )
+
+
+def _check_arities(program: Program, diags: list) -> bool:
+    """DL002 — every predicate used at one arity; returns coherence."""
+    first: dict[str, tuple[int, Optional[Atom]]] = {}
+    coherent = True
+
+    def record(a: Atom) -> None:
+        nonlocal coherent
+        prev = first.setdefault(a.predicate, (a.arity, a))
+        if prev[0] != a.arity:
+            coherent = False
+            diags.append(
+                _diag(
+                    "DL002",
+                    f"predicate '{a.predicate}' is used with arities "
+                    f"{prev[0]} and {a.arity}",
+                    predicate=a.predicate,
+                    span=a.span,
+                    hint="every occurrence of a predicate must have the same "
+                    "number of arguments",
+                )
+            )
+
+    for r in program.rules:
+        for a in (r.head, *r.body, *r.negative):
+            record(a)
+    if program.query is not None:
+        record(program.query)
+    return coherent
+
+
+def _check_safety(program: Program, diags: list) -> bool:
+    """DL001 — range restriction, per rule; returns overall safety."""
+    safe = True
+    for i, r in enumerate(program.rules):
+        if r.is_safe():
+            continue
+        safe = False
+        exposed = set(r.head.variables()) | {
+            v for a in r.negative for v in a.variables()
+        }
+        names = ", ".join(sorted(v.name for v in exposed - r.body_variables()))
+        diags.append(
+            _diag(
+                "DL001",
+                f"variables {names} of rule {r} are not bound by the "
+                f"positive body",
+                predicate=r.head.predicate,
+                rule_index=i,
+                span=r.span,
+                hint="every head variable and every variable of a negated "
+                "literal must occur in a positive body literal",
+            )
+        )
+    return safe
+
+
+def _check_stratification(program: Program, diags: list) -> None:
+    """DL003 — no recursion through negation."""
+    if not program.has_negation():
+        return
+    from ..datalog.analysis import stratify
+
+    try:
+        stratify(program)
+    except ValidationError as exc:
+        diags.append(
+            _diag(
+                "DL003",
+                str(exc),
+                hint="break the cycle so every negative dependency points "
+                "strictly downward (stratified semantics, section 6)",
+            )
+        )
+
+
+def _check_duplicates(program: Program, diags: list) -> None:
+    """DL008 — rules identical up to variable renaming."""
+    seen: dict[tuple, int] = {}
+    for i, r in enumerate(program.rules):
+        key = _canonical_rule(r)
+        if key in seen:
+            diags.append(
+                _diag(
+                    "DL008",
+                    f"rule {r} duplicates rule #{seen[key]} "
+                    f"({program.rules[seen[key]]})",
+                    predicate=r.head.predicate,
+                    rule_index=i,
+                    span=r.span,
+                    hint="delete one copy; duplicate rules derive the same "
+                    "facts twice",
+                )
+            )
+        else:
+            seen[key] = i
+
+
+def _check_redundant_literals(program: Program, diags: list) -> None:
+    """DL009 — a body literal repeated verbatim in one body."""
+    for i, r in enumerate(program.rules):
+        seen: set[Atom] = set()
+        for a in r.body:
+            if a in seen:
+                diags.append(
+                    _diag(
+                        "DL009",
+                        f"literal {a} occurs twice in the body of rule {r}",
+                        predicate=r.head.predicate,
+                        rule_index=i,
+                        span=a.span or r.span,
+                        hint="drop the duplicate; conjunctive-query "
+                        "minimization would remove it anyway",
+                    )
+                )
+                break
+            seen.add(a)
+
+
+def _positive_components(rule: Rule) -> list[list[int]]:
+    """Indexes of positive body literals grouped by shared variables
+    (transitively, with negated literals contributing connectivity)."""
+    parent: dict = {}
+
+    def find(x):
+        parent.setdefault(x, x)
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(x, y):
+        rx, ry = find(x), find(y)
+        if rx != ry:
+            parent[rx] = ry
+
+    for a in (*rule.body, *rule.negative):
+        vs = a.variables()
+        for v in vs[1:]:
+            union(vs[0], v)
+    groups: dict = {}
+    singles: list[list[int]] = []
+    for i, a in enumerate(rule.body):
+        vs = a.variables()
+        if not vs:
+            singles.append([i])
+        else:
+            groups.setdefault(find(vs[0]), []).append(i)
+    return list(groups.values()) + singles
+
+
+def _check_cross_products(program: Program, diags: list) -> None:
+    """DL012 — ≥2 variable-disjoint body components each binding head
+    variables the query actually *needs*: the engine joins them as a
+    Cartesian product and Lemma 3.1 cannot cut any of them.
+
+    The check is adornment-aware: a component anchored only to
+    existential head positions is the Lemma 3.1 boolean-subquery case
+    (reported as DL011 info), not a product the optimizer is stuck
+    with.  When the program cannot be adorned (no query, earlier
+    errors) the plain head-variable anchoring is used instead."""
+    try:
+        from ..core.adornment import adorn
+
+        anchored_rules = [
+            (
+                r.head.atom.predicate.partition("@")[0],
+                r.to_rule(),
+                {
+                    r.head.atom.args[i]
+                    for i in r.head.adornment.needed_positions
+                    if isinstance(r.head.atom.args[i], Variable)
+                },
+                r.head.atom.span,
+            )
+            for r in adorn(program).rules
+        ]
+    except ReproError:
+        anchored_rules = [
+            (r.head.predicate, r, set(r.head.variables()), r.span)
+            for r in program.rules
+        ]
+    seen: set[tuple] = set()
+    for predicate, r, anchor_vars, span in anchored_rules:
+        if len(r.body) < 2:
+            continue
+        anchored = 0
+        for comp in _positive_components(r):
+            comp_vars = {v for j in comp for v in r.body[j].variables()}
+            if comp_vars & anchor_vars:
+                anchored += 1
+        key = (predicate, span, anchored)
+        if anchored >= 2 and key not in seen:
+            seen.add(key)
+            diags.append(
+                _diag(
+                    "DL012",
+                    f"the body of rule {r} is a Cartesian product of "
+                    f"{anchored} variable-disjoint components, each bound "
+                    f"to needed head positions",
+                    predicate=predicate,
+                    span=span,
+                    hint="if the product is unintended, connect the "
+                    "components with a shared variable; the join cost is "
+                    "the product of their sizes",
+                )
+            )
+
+
+def _check_query(
+    program: Program, edb: Optional[frozenset[str]], diags: list
+) -> None:
+    """DL004 / DL005 / DL007 — query presence, definedness, reachability."""
+    if program.query is None:
+        if program.rules:
+            diags.append(
+                _diag(
+                    "DL004",
+                    "the program has no ?- query",
+                    hint="the optimization pipeline adorns from the query "
+                    "(section 2); add one, e.g. '?- q(X).'",
+                )
+            )
+        return
+    qp = program.query.predicate
+    idb = program.idb_predicates()
+    if qp not in idb and not (edb is not None and qp in edb):
+        diags.append(
+            _diag(
+                "DL005",
+                f"query predicate '{qp}' has no defining rules"
+                + ("" if edb is None else " and no facts"),
+                predicate=qp,
+                span=program.query.span,
+                hint="define the predicate with at least one rule, or query "
+                "a stored relation that has facts",
+            )
+        )
+    reachable = reachable_predicates(program, [qp])
+    for i, r in enumerate(program.rules):
+        if r.head.predicate not in reachable:
+            diags.append(
+                _diag(
+                    "DL007",
+                    f"rule {r} defines '{r.head.predicate}', which the query "
+                    f"'?- {program.query}' never reaches",
+                    predicate=r.head.predicate,
+                    rule_index=i,
+                    span=r.span,
+                    hint="dead code: the cascade cleanup (section 5, "
+                    "Examples 7/8) would delete this rule",
+                )
+            )
+
+
+def _check_undefined_predicates(
+    program: Program, edb: Optional[frozenset[str]], diags: list
+) -> None:
+    """DL006 / DL014 — body / negated predicates defined nowhere."""
+    if edb is None:
+        return  # without EDB knowledge every undefined name may be stored
+    idb = program.idb_predicates()
+    seen_positive: set[str] = set()
+    seen_negative: set[str] = set()
+    for i, r in enumerate(program.rules):
+        for a in r.body:
+            p = a.predicate
+            if p in idb or p in edb or is_builtin(p) or p in seen_positive:
+                continue
+            seen_positive.add(p)
+            diags.append(
+                _diag(
+                    "DL006",
+                    f"body predicate '{p}' has no defining rules and no "
+                    f"facts; it evaluates as an empty relation, so rule "
+                    f"{r} can never fire",
+                    predicate=p,
+                    rule_index=i,
+                    span=a.span,
+                    hint="add facts or rules for the predicate, or remove "
+                    "the dead literal",
+                )
+            )
+        for a in r.negative:
+            p = a.predicate
+            if p in idb or p in edb or p in seen_negative:
+                continue
+            seen_negative.add(p)
+            diags.append(
+                _diag(
+                    "DL014",
+                    f"negated predicate '{p}' has no defining rules and no "
+                    f"facts; 'not {a}' is always true",
+                    predicate=p,
+                    rule_index=i,
+                    span=a.span,
+                    hint="the literal is a no-op; drop it or define the "
+                    "predicate",
+                )
+            )
+
+
+def _check_facts(program: Program, diags: list) -> None:
+    """DL015 — ground facts mixed into the rule set."""
+    for i, r in enumerate(program.rules):
+        if r.is_fact():
+            diags.append(
+                _diag(
+                    "DL015",
+                    f"ground fact {r} appears among the rules",
+                    predicate=r.head.predicate,
+                    rule_index=i,
+                    span=r.span,
+                    hint="the paper's convention (section 1.1) stores all "
+                    "facts in the EDB; move it to the facts file",
+                )
+            )
+
+
+def _check_adornment_opportunities(program: Program, diags: list) -> None:
+    """DL010 / DL011 — what the adornment algorithm and the component
+    split will find (Lemma 2.2 / Lemma 3.1)."""
+    from ..core.adornment import adorn, split_adorned
+    from ..core.components import rule_components
+
+    try:
+        adorned = adorn(program)
+    except ReproError:
+        return  # earlier diagnostics already explain why adornment fails
+
+    reported: set[str] = set()
+    for rule in adorned.rules:
+        name = rule.head.atom.predicate
+        base, ad = split_adorned(name)
+        if ad is None or name in reported:
+            continue
+        reported.add(name)
+        saved = len(ad.existential_positions)
+        if saved:
+            diags.append(
+                _diag(
+                    "DL010",
+                    f"adorned version {name} has {saved} existential "
+                    f"position(s); projection pushing reduces the arity of "
+                    f"'{base}' from {len(ad)} to {len(ad) - saved} here",
+                    predicate=base,
+                    span=rule.head.atom.span,
+                    hint="positions adorned d are dropped by Lemma 3.2; "
+                    "this is the paper's headline work reduction",
+                )
+            )
+
+    for rule in adorned.rules:
+        head = rule.head
+        if head.atom.arity == 0:
+            continue
+        anchor_vars = {
+            head.atom.args[i]
+            for i in head.adornment.needed_positions
+            if isinstance(head.atom.args[i], Variable)
+        }
+        for comp in rule_components(rule):
+            comp_lits = [rule.body[i] for i in comp]
+            comp_vars = {v for lit in comp_lits for v in lit.atom.variables()}
+            if comp_vars & anchor_vars:
+                continue
+            if len(comp_lits) == 1 and comp_lits[0].atom.arity == 0:
+                continue
+            lits = ", ".join(str(lit.atom) for lit in comp_lits)
+            diags.append(
+                _diag(
+                    "DL011",
+                    f"in rule {rule}, the body component {{{lits}}} shares "
+                    f"no variable with a needed head position; it is an "
+                    f"existential subquery",
+                    predicate=split_adorned(head.atom.predicate)[0],
+                    span=comp_lits[0].atom.span or head.atom.span,
+                    hint="the optimizer extracts it as a boolean predicate "
+                    "evaluated once and retired (Lemma 3.1 cut)",
+                )
+            )
+
+
+def _check_chain_regularity(program: Program, diags: list) -> None:
+    """DL013 — Theorem 3.3: chain program with a regular grammar."""
+    if program.query is None or not program.rules:
+        return
+    if not is_chain_program(program):
+        return
+    from ..grammar import (
+        is_right_linear,
+        is_self_embedding,
+        monadic_program_for,
+        program_to_grammar,
+    )
+
+    try:
+        grammar = program_to_grammar(program)
+    except ReproError:
+        return
+    monadic = None
+    try:
+        monadic = monadic_program_for(program)
+    except ReproError:
+        monadic = None
+    if monadic is not None:
+        diags.append(
+            _diag(
+                "DL013",
+                "chain program with a right-linear (regular) grammar: the "
+                "query is answerable by an equivalent monadic recursion",
+                predicate=program.query.predicate,
+                span=program.query.span,
+                hint="run 'repro grammar' to print the Theorem 3.3 monadic "
+                "program",
+            )
+        )
+    elif is_right_linear(grammar) or not is_self_embedding(grammar):
+        diags.append(
+            _diag(
+                "DL013",
+                "chain program whose grammar is not self-embedding, hence "
+                "regular: an equivalent monadic program exists",
+                predicate=program.query.predicate,
+                span=program.query.span,
+                hint="Theorem 3.3; see 'repro grammar' for the CFG view",
+            )
+        )
+
+
+def lint_program(
+    program: Program,
+    edb: Optional[Iterable[str]] = None,
+    source: str = "<program>",
+) -> LintReport:
+    """Run every lint over *program* and return the report.
+
+    *edb*, when given, names the predicates with stored facts (e.g.
+    ``db.predicates()``); it enables the undefined-predicate checks
+    (DL005 sharpening, DL006, DL014), which are unanswerable from the
+    program text alone because never-defined predicates are by
+    convention assumed to be EDB relations.
+    """
+    edb_set = frozenset(edb) if edb is not None else None
+    diags: list[Diagnostic] = []
+
+    _check_arities(program, diags)
+    _check_safety(program, diags)
+    _check_stratification(program, diags)
+    _check_duplicates(program, diags)
+    _check_redundant_literals(program, diags)
+    _check_cross_products(program, diags)
+    _check_query(program, edb_set, diags)
+    _check_undefined_predicates(program, edb_set, diags)
+    _check_facts(program, diags)
+    if not any(d.severity is Severity.ERROR for d in diags):
+        # optimization-opportunity lints need a program the pipeline
+        # accepts; with errors present the story is already told above
+        _check_adornment_opportunities(program, diags)
+        _check_chain_regularity(program, diags)
+    return LintReport(tuple(diags), source=source)

@@ -1,0 +1,420 @@
+"""Layer 2 — the pass-contract sanitizer.
+
+Every pipeline pass publishes an invariant over its output; this module
+asserts them.  ``optimize(..., validate=True)`` (the CLI ``--validate``
+flag) runs the matching check after **every** pass and raises a
+structured :class:`InvariantViolation` naming the pass and the violated
+rule, so a buggy pass is caught at its own doorstep instead of
+surfacing rounds later as a wrong answer.
+
+The contracts:
+
+``adornment-*`` (every pass that yields an :class:`AdornedProgram`)
+    The mangled predicate name ``base@ad`` of every derived literal
+    agrees with its stored adornment; adornment length matches atom
+    arity (pre-projection) or needed-position count (post-projection,
+    Lemma 3.2); every derived body predicate has defining rules; the
+    program's arity schema is coherent; boolean predicates are arity 0.
+``component-partition`` / ``single-component`` (section 3.1)
+    :func:`~repro.core.components.rule_components` partitions the body
+    literal indexes; after the split, every remaining body component of
+    a non-boolean rule is anchored to a needed head variable
+    (Lemma 3.1's "afterwards every rule has a single component").
+``post-projection-safety`` (section 3.2)
+    After Lemma 3.2 the program is plain safe Datalog again (the paper
+    mode split deliberately passes through an unsafe intermediate).
+``hidden-link-*`` (section 5)
+    Argument projections are canonical: an edge ``(i, k)`` exactly when
+    head position *i* and body position *k* hold the same variable, and
+    hidden same-side links record exactly the same-side pairs merged by
+    a variable invisible to the other side and not already implied by
+    the edges.
+``plan-*`` / ``slot-*`` (engine)
+    Every compiled rule's join plans are permutations of the relational
+    body; bound/free position sets agree with a recomputation of the
+    binding order; head, built-in and negated variables are covered by
+    the relational body (the kernel's slot map would otherwise emit a
+    read of an unassigned register).
+"""
+
+from __future__ import annotations
+
+from typing import NoReturn
+
+from ..datalog.ast import Program
+from ..datalog.errors import ReproError, ValidationError
+from ..datalog.terms import Constant, Variable
+
+__all__ = [
+    "InvariantViolation",
+    "check_adorned_program",
+    "check_component_partition",
+    "check_split_anchoring",
+    "check_argument_projections",
+    "check_compiled_program",
+    "check_pass",
+    "validate_result",
+]
+
+
+class InvariantViolation(ReproError):
+    """A pipeline pass produced output violating its published contract.
+
+    ``pass_name`` is the pass whose output failed (e.g.
+    ``push_projections``); ``rule`` is the stable identifier of the
+    violated invariant (e.g. ``adornment-arity``).
+    """
+
+    def __init__(self, pass_name: str, rule: str, message: str):
+        self.pass_name = pass_name
+        self.rule = rule
+        super().__init__(
+            f"pass {pass_name!r} violated invariant {rule!r}: {message}"
+        )
+
+
+def _violate(pass_name: str, rule: str, message: str) -> NoReturn:
+    raise InvariantViolation(pass_name, rule, message)
+
+
+# -- adornment consistency (P^e,ad) ------------------------------------------
+
+
+def _check_literal(lit, pass_name: str, projected: bool, derived_defined) -> None:
+    from ..core.adornment import split_adorned
+
+    atom, ad = lit.atom, lit.adornment
+    if lit.derived:
+        base, name_ad = split_adorned(atom.predicate)
+        if len(ad) == 0 and atom.arity == 0:
+            pass  # boolean guard: unadorned arity-0 predicate
+        elif name_ad is None or name_ad != ad:
+            _violate(
+                pass_name,
+                "name-adornment-agree",
+                f"derived literal {atom} carries adornment {ad} but its "
+                f"mangled name decodes to {name_ad}",
+            )
+        if derived_defined is not None and atom.predicate not in derived_defined:
+            _violate(
+                pass_name,
+                "derived-defined",
+                f"derived predicate {atom.predicate!r} (in {atom}) has no "
+                f"defining rules",
+            )
+        expected = len(ad.needed_positions) if projected else len(ad)
+    else:
+        # EDB literals keep their stored arity in both forms
+        expected = len(ad)
+    if atom.arity != expected:
+        _violate(
+            pass_name,
+            "adornment-arity",
+            f"literal {atom} has arity {atom.arity} but its adornment {ad!s:s} "
+            f"requires {expected} ({'projected' if projected else 'unprojected'})",
+        )
+
+
+_STRUCTURAL_PASSES = frozenset(
+    {"adorn", "split_components", "push_projections"}
+)
+
+
+def check_adorned_program(program, pass_name: str) -> None:
+    """Adornment consistency of an :class:`AdornedProgram` in either the
+    unprojected (``P^e,ad``) or projected (post-Lemma 3.2) form.
+
+    The ``derived-defined`` rule (every derived body/query predicate
+    has defining rules) is asserted only after the structural passes:
+    rule deletion may soundly remove *all* rules of a predicate that a
+    surviving — then never-firing — rule still references.
+    """
+    projected = program.projected
+    defined = (
+        program.derived_predicates()
+        if pass_name in _STRUCTURAL_PASSES
+        else None
+    )
+    for rule in program.rules:
+        if not rule.head.derived:
+            _violate(
+                pass_name,
+                "head-derived",
+                f"rule head {rule.head.atom} is not marked derived",
+            )
+        _check_literal(rule.head, pass_name, projected, None)
+        for lit in rule.body:
+            _check_literal(lit, pass_name, projected, defined)
+        for lit in rule.negative:
+            if "d" in lit.adornment.text:
+                _violate(
+                    pass_name,
+                    "negation-all-needed",
+                    f"negated literal {lit.atom} carries existential "
+                    f"adornment {lit.adornment}; negated positions are "
+                    f"never projectable",
+                )
+            _check_literal(lit, pass_name, projected, defined)
+    _check_literal(program.query, pass_name, projected, defined)
+    for name in program.boolean_predicates:
+        for rule in program.rules:
+            if rule.head.atom.predicate == name and rule.head.atom.arity != 0:
+                _violate(
+                    pass_name,
+                    "boolean-arity",
+                    f"boolean predicate {name!r} defined at arity "
+                    f"{rule.head.atom.arity}",
+                )
+    try:
+        program.to_program().arities()
+    except ValidationError as exc:
+        _violate(pass_name, "schema-arity", str(exc))
+    if projected:
+        try:
+            program.to_program().validate()
+        except ValidationError as exc:
+            _violate(pass_name, "post-projection-safety", str(exc))
+
+
+# -- section 3.1: component split --------------------------------------------
+
+
+def check_component_partition(program, pass_name: str) -> None:
+    """``rule_components`` yields a partition of each rule's body."""
+    from ..core.components import rule_components
+
+    for rule in program.rules:
+        comps = rule_components(rule)
+        flat = [i for comp in comps for i in comp]
+        if sorted(flat) != list(range(len(rule.body))):
+            _violate(
+                pass_name,
+                "component-partition",
+                f"components {comps} of rule {rule} do not partition its "
+                f"{len(rule.body)} body positions",
+            )
+
+
+def check_split_anchoring(program, pass_name: str, paper_mode: bool = True) -> None:
+    """Post-split (Lemma 3.1): every body component of a non-boolean
+    rule is anchored to a head variable — a *needed* one in paper mode,
+    any head variable in the conservative mode — or is a boolean guard."""
+    from ..core.components import rule_components
+
+    check_component_partition(program, pass_name)
+    for rule in program.rules:
+        head = rule.head
+        if head.atom.arity == 0:
+            continue
+        anchor_positions = (
+            head.adornment.needed_positions
+            if paper_mode
+            else range(len(head.atom.args))
+        )
+        anchor_vars = {
+            head.atom.args[i]
+            for i in anchor_positions
+            if i < len(head.atom.args) and isinstance(head.atom.args[i], Variable)
+        }
+        for comp in rule_components(rule):
+            lits = [rule.body[i] for i in comp]
+            comp_vars = {v for lit in lits for v in lit.atom.variables()}
+            if comp_vars & anchor_vars:
+                continue
+            if all(lit.atom.arity == 0 or not lit.atom.variables() for lit in lits):
+                continue
+            _violate(
+                pass_name,
+                "single-component",
+                f"rule {rule} still has the unanchored body component "
+                f"{[str(lit.atom) for lit in lits]} after the split",
+            )
+
+
+# -- section 5: argument projections -----------------------------------------
+
+
+def check_argument_projections(program, pass_name: str) -> None:
+    """Hidden-link consistency: each head→body projection of the
+    projected program matches an independent recomputation from raw
+    variable identity, and its hidden links are canonical."""
+    from ..core.argument_projection import program_projections
+
+    if not program.projected:
+        return
+    for (ri, bi), proj in program_projections(program).items():
+        rule = program.rules[ri]
+        head_args = rule.head.atom.args
+        body_args = rule.body[bi].atom.args
+        expected_edges = frozenset(
+            (i, k)
+            for i, ha in enumerate(head_args)
+            if isinstance(ha, Variable)
+            for k, ba in enumerate(body_args)
+            if ha == ba
+        )
+        if proj.edges != expected_edges:
+            _violate(
+                pass_name,
+                "hidden-link-edges",
+                f"projection {proj} of rule {rule} (body #{bi}) disagrees "
+                f"with shared-variable edges {sorted(expected_edges)}",
+            )
+        body_vars = {a for a in body_args if isinstance(a, Variable)}
+        head_vars = {a for a in head_args if isinstance(a, Variable)}
+        expected_left = frozenset(
+            (a, b)
+            for a, va in enumerate(head_args)
+            for b in range(a + 1, len(head_args))
+            if isinstance(va, Variable)
+            and head_args[b] == va
+            and va not in body_vars
+        )
+        expected_right = frozenset(
+            (a, b)
+            for a, va in enumerate(body_args)
+            for b in range(a + 1, len(body_args))
+            if isinstance(va, Variable)
+            and body_args[b] == va
+            and va not in head_vars
+        )
+        if proj.left_links != expected_left or proj.right_links != expected_right:
+            _violate(
+                pass_name,
+                "hidden-link-canonical",
+                f"projection of rule {rule} (body #{bi}) stores hidden links "
+                f"L={sorted(proj.left_links)} R={sorted(proj.right_links)}; "
+                f"expected L={sorted(expected_left)} R={sorted(expected_right)}",
+            )
+
+
+# -- engine: plan / kernel slot-map coherence --------------------------------
+
+
+def check_compiled_program(program: Program, pass_name: str = "compile_rule") -> None:
+    """Compile every rule and check plan/slot-map coherence.
+
+    The kernel generator derives its integer slot map from the plan
+    order, so a plan whose bound/free split disagrees with the actual
+    binding order would make the generated code read an unassigned
+    register; this check recomputes the binding order independently.
+    """
+    from ..engine.plan import compile_rule
+
+    for index, rule in enumerate(program.rules):
+        try:
+            compiled = compile_rule(rule, index)
+        except ReproError as exc:  # pragma: no cover - compile never raises today
+            _violate(pass_name, "plan-compile", f"rule {rule}: {exc}")
+        n = len(compiled.relational_body)
+        all_plans = [("plan", compiled.plan)] + [
+            (f"delta[{i}]", p) for i, p in enumerate(compiled.delta_plans)
+        ]
+        for label, plan in all_plans:
+            if sorted(step.body_index for step in plan) != list(range(n)):
+                _violate(
+                    pass_name,
+                    "plan-permutation",
+                    f"{label} of rule {rule} covers body indexes "
+                    f"{[s.body_index for s in plan]}, not a permutation of "
+                    f"0..{n - 1}",
+                )
+            bound_vars: set[Variable] = set()
+            for step in plan:
+                expected_bound = tuple(
+                    p
+                    for p, arg in enumerate(step.atom.args)
+                    if isinstance(arg, Constant) or arg in bound_vars
+                )
+                if step.bound_positions != expected_bound:
+                    _violate(
+                        pass_name,
+                        "slot-binding",
+                        f"{label} of rule {rule}: literal {step.atom} claims "
+                        f"bound positions {step.bound_positions}, recomputed "
+                        f"{expected_bound}",
+                    )
+                expected_free = tuple(
+                    (p, arg)
+                    for p, arg in enumerate(step.atom.args)
+                    if not (isinstance(arg, Constant) or arg in bound_vars)
+                )
+                if step.free_positions != expected_free:
+                    _violate(
+                        pass_name,
+                        "slot-free",
+                        f"{label} of rule {rule}: literal {step.atom} claims "
+                        f"free positions {step.free_positions}, recomputed "
+                        f"{expected_free}",
+                    )
+                bound_vars.update(v for _, v in step.free_positions)
+            uncovered = {
+                v
+                for atom in (rule.head, *compiled.builtins, *rule.negative)
+                for v in atom.variables()
+            } - bound_vars
+            if uncovered and n:
+                _violate(
+                    pass_name,
+                    "head-coverage",
+                    f"{label} of rule {rule} leaves "
+                    f"{sorted(v.name for v in uncovered)} unbound for the "
+                    f"head/built-ins/negation",
+                )
+        for i, plan in enumerate(compiled.delta_plans):
+            if plan and plan[0].body_index != i:
+                _violate(
+                    pass_name,
+                    "delta-first",
+                    f"delta plan {i} of rule {rule} starts at body index "
+                    f"{plan[0].body_index}",
+                )
+
+
+# -- whole-result validation --------------------------------------------------
+
+
+def validate_result(result) -> None:
+    """Re-check every recorded stage of an
+    :class:`~repro.core.pipeline.OptimizationResult` post hoc.
+
+    ``optimize(validate=True)`` checks each pass at its doorstep; this
+    entry point validates a result produced *without* inline checking
+    (e.g. one loaded from a report or built by tests).
+    """
+    check_adorned_program(result.adorned, "adorn")
+    check_component_partition(result.adorned, "adorn")
+    if result.split is not None:
+        check_split_anchoring(result.split.program, "split_components")
+        check_adorned_program(result.split.program, "split_components")
+    if result.projected is not None:
+        check_adorned_program(result.projected, "push_projections")
+        check_argument_projections(result.projected, "push_projections")
+    check_adorned_program(result.final, "final")
+    if result.final.projected:
+        check_argument_projections(result.final, "final")
+    check_compiled_program(result.program, "final")
+    if result.answer_positions is not None:
+        width = result.final.query.atom.arity
+        bad = [i for i in result.answer_positions if not 0 <= i < width]
+        if bad:
+            _violate(
+                "inline_projection_query",
+                "answer-positions",
+                f"answer positions {result.answer_positions} index outside "
+                f"the final query arity {width}",
+            )
+
+
+def check_pass(pass_name: str, program, paper_mode: bool = True) -> None:
+    """Dispatch the invariant checks appropriate after *pass_name*.
+
+    The pipeline calls this after every pass when ``validate=True``;
+    *program* is the pass's output :class:`AdornedProgram`.
+    """
+    check_adorned_program(program, pass_name)
+    check_component_partition(program, pass_name)
+    if pass_name == "split_components":
+        check_split_anchoring(program, pass_name, paper_mode=paper_mode)
+    if program.projected:
+        check_argument_projections(program, pass_name)

@@ -5,6 +5,7 @@ Usage (also via ``python -m repro``)::
     python -m repro optimize program.dl            # print the pipeline story
     python -m repro run program.dl facts.dl        # evaluate a query
     python -m repro run program.dl facts.dl -O     # ... after optimization
+    python -m repro lint program.dl [facts.dl]     # static diagnostics
     python -m repro grammar program.dl             # chain-program/CFG view
     python -m repro explain program.dl facts.dl p "1,2"   # derivation tree
     python -m repro shell [files...]               # interactive session
@@ -55,14 +56,29 @@ def _load_facts(path: str) -> Database:
     return Database.from_facts(facts)
 
 
+def _warn_diagnostics(program: Program, source: str, edb=None) -> None:
+    """Print lint errors/warnings for *program* to stderr.
+
+    Used by ``optimize`` and ``run`` so mistakes like an undefined body
+    predicate surface as a diagnostic instead of a silently empty
+    evaluation; infos are withheld (``repro lint`` shows everything)."""
+    from .analysis import lint_program
+
+    report = lint_program(program, edb=edb, source=source)
+    for diag in (*report.errors, *report.warnings):
+        print(diag.render(source), file=sys.stderr)
+
+
 def _cmd_optimize(args) -> int:
     program = _load_program(args.program)
+    _warn_diagnostics(program, args.program)
     result = optimize(
         program,
         deletion=None if args.no_deletion else "lemma53",
         unit_rules=not args.no_unit_rules,
         use_chase=not args.no_chase,
         use_sagiv=not args.no_sagiv,
+        validate=args.validate,
     )
     if args.json:
         import json
@@ -78,6 +94,7 @@ def _cmd_optimize(args) -> int:
 def _cmd_run(args) -> int:
     program = _load_program(args.program)
     db = _load_facts(args.facts)
+    _warn_diagnostics(program, args.program, edb=db.predicates())
     engine = dict(
         use_indexes=not args.no_index,
         use_kernels=not args.no_kernel,
@@ -92,7 +109,7 @@ def _cmd_run(args) -> int:
         engine["fault_plan"] = parse_fault_specs(args.inject_fault)
     try:
         if args.optimize:
-            result = optimize(program)
+            result = optimize(program, validate=args.validate)
             evaluation = result.evaluate(db, **engine)
             answers = result.answers(db, **engine)
         else:
@@ -115,6 +132,19 @@ def _cmd_run(args) -> int:
     if args.stats:
         print(f"-- {evaluation.stats.summary()}", file=sys.stderr)
     return 0
+
+
+def _cmd_lint(args) -> int:
+    from .analysis import lint_program
+
+    # Parse directly rather than via _load_program: a program file
+    # containing facts should *lint* (DL015) instead of being rejected.
+    with open(args.program) as f:
+        program = parse(f.read())
+    edb = _load_facts(args.facts).predicates() if args.facts else None
+    report = lint_program(program, edb=edb, source=args.program)
+    print(report.render_json() if args.format == "json" else report.render_text())
+    return report.exit_code(strict=args.strict)
 
 
 def _cmd_grammar(args) -> int:
@@ -185,6 +215,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_opt.add_argument("--no-unit-rules", action="store_true")
     p_opt.add_argument("--no-chase", action="store_true")
     p_opt.add_argument("--no-sagiv", action="store_true")
+    p_opt.add_argument(
+        "--validate",
+        action="store_true",
+        help="arm the pass-contract sanitizer: assert each pipeline "
+        "pass's published invariant over its output and fail with a "
+        "structured InvariantViolation naming the pass and rule",
+    )
     p_opt.set_defaults(fn=_cmd_optimize)
 
     p_run = sub.add_parser("run", help="evaluate the program's query")
@@ -266,7 +303,37 @@ def build_parser() -> argparse.ArgumentParser:
         "index-build, scheduler, worker-death:N, unit-error:N, or "
         "slow-unit:N[:seconds]",
     )
+    p_run.add_argument(
+        "--validate",
+        action="store_true",
+        help="with -O, arm the optimizer's pass-contract sanitizer "
+        "(see 'repro optimize --validate')",
+    )
     p_run.set_defaults(fn=_cmd_run)
+
+    p_lint = sub.add_parser(
+        "lint", help="paper-grounded static diagnostics (no evaluation)"
+    )
+    p_lint.add_argument("program", help="Datalog program file")
+    p_lint.add_argument(
+        "facts",
+        nargs="?",
+        default=None,
+        help="optional fact file; enables undefined-predicate checks "
+        "against the actual EDB schema",
+    )
+    p_lint.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat warnings as errors (exit code 2)",
+    )
+    p_lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    p_lint.set_defaults(fn=_cmd_lint)
 
     p_gram = sub.add_parser("grammar", help="chain-program / CFG view")
     p_gram.add_argument("program")

@@ -309,7 +309,7 @@ def adorn(program: Program, query_ad: Optional[Adornment] = None) -> AdornedProg
                     if isinstance(arg, Variable):
                         body_counts[arg] = body_counts.get(arg, 0) + 1
             head_lit = AdornedLiteral(
-                Atom(head_name, r.head.args), ad, derived=True
+                Atom(head_name, r.head.args, span=r.head.span), ad, derived=True
             )
             body_lits: list[AdornedLiteral] = []
             for literal in r.body:
@@ -317,7 +317,11 @@ def adorn(program: Program, query_ad: Optional[Adornment] = None) -> AdornedProg
                 if literal.predicate in idb:
                     new_name = adorned_name(literal.predicate, lit_ad)
                     body_lits.append(
-                        AdornedLiteral(Atom(new_name, literal.args), lit_ad, derived=True)
+                        AdornedLiteral(
+                            Atom(new_name, literal.args, span=literal.span),
+                            lit_ad,
+                            derived=True,
+                        )
                     )
                     if (literal.predicate, lit_ad) not in marked:
                         worklist.append((literal.predicate, lit_ad))

@@ -185,7 +185,7 @@ class ArgumentProjection:
 
     def maps_position(self, i: int) -> frozenset[int]:
         """Right positions connected to left position *i*."""
-        return frozenset(k for l, k in self.edges if l == i)
+        return frozenset(k for left, k in self.edges if left == i)
 
     def __str__(self) -> str:
         pairs = ", ".join(f"{i}~{j}" for i, j in sorted(self.edges))

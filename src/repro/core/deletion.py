@@ -39,7 +39,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from ..datalog.ast import Program, Rule
+from ..datalog.ast import Rule
 from ..datalog.database import Database
 from ..datalog.errors import TransformError
 from ..datalog.terms import Term, Variable

@@ -31,7 +31,6 @@ paper states it, and serves as a comparison point in the benchmarks.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional
 
 from ..datalog.ast import Atom, Program, Rule

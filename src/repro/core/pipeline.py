@@ -237,6 +237,7 @@ def optimize(
     subsumption: bool = True,
     unfold: bool = True,
     minimize_bodies: bool = True,
+    validate: bool = False,
 ) -> OptimizationResult:
     """Run the paper's optimization pipeline on *program*.
 
@@ -245,19 +246,39 @@ def optimize(
     entirely; ``paper_mode=False`` uses the conservative component
     split, which is only meaningful with ``project=False`` (the paper's
     split may leave heads unsafe until projection runs).
+
+    ``validate=True`` arms the pass-contract sanitizer
+    (:mod:`repro.analysis.validate`): after every pass its published
+    invariant is asserted over the pass's output, and a violation
+    raises :class:`~repro.analysis.validate.InvariantViolation` naming
+    the pass and the broken rule.
     """
+    if validate:
+        from ..analysis.validate import check_compiled_program, check_pass
+
+        def _check(pass_name: str, prog: AdornedProgram) -> None:
+            check_pass(pass_name, prog, paper_mode=paper_mode)
+
+    else:
+
+        def _check(pass_name: str, prog: AdornedProgram) -> None:
+            return None
+
     adorned = adorn(program, query_ad=query_ad)
     current = adorned
+    _check("adorn", current)
 
     split_report: Optional[ComponentSplit] = None
     if split:
         split_report = split_components(current, paper_mode=paper_mode)
         current = split_report.program
+        _check("split_components", current)
 
     projected: Optional[AdornedProgram] = None
     if project:
         projected = push_projections(current)
         current = projected
+        _check("push_projections", current)
 
     subsumed: list = []
     if subsumption and project:
@@ -287,6 +308,7 @@ def optimize(
             kept.append(arule)
         if subsumed:
             current = current.with_rules(kept)
+            _check("theta_subsumption", current)
 
     unit_report: Optional[UnitRuleReport] = None
     deletion_report: Optional[DeletionReport] = None
@@ -324,6 +346,7 @@ def optimize(
                     )
                 else:
                     unit_report = None
+        _check("delete_rules", current)
 
     unfolded: tuple[str, ...] = ()
     if unfold and project:
@@ -341,6 +364,7 @@ def optimize(
             from .deletion import cascade
 
             current = cascade(current).program
+            _check("unfold_nonrecursive", current)
 
     minimized: tuple = ()
     if minimize_bodies and project:
@@ -356,8 +380,23 @@ def optimize(
         if min_report.changed:
             current = min_report.program
             minimized = min_report.changed
+            _check("minimize_rule_bodies", current)
 
     current, answer_positions = _inline_projection_query(current)
+    _check("inline_projection_query", current)
+    if validate:
+        check_compiled_program(current.to_program(), "inline_projection_query")
+        if answer_positions is not None:
+            width = current.query.atom.arity
+            if any(not 0 <= i < width for i in answer_positions):
+                from ..analysis.validate import InvariantViolation
+
+                raise InvariantViolation(
+                    "inline_projection_query",
+                    "answer-positions",
+                    f"answer positions {answer_positions} index outside the "
+                    f"final query arity {width}",
+                )
 
     return OptimizationResult(
         original=program,

@@ -48,7 +48,9 @@ def project_literal(lit: AdornedLiteral) -> AdornedLiteral:
             f"literal {lit.atom} already projected (adornment {lit.adornment})"
         )
     args = tuple(lit.atom.args[i] for i in lit.adornment.needed_positions)
-    return AdornedLiteral(Atom(lit.atom.predicate, args), lit.adornment, lit.derived)
+    return AdornedLiteral(
+        Atom(lit.atom.predicate, args, span=lit.atom.span), lit.adornment, lit.derived
+    )
 
 
 def push_projections(adorned: AdornedProgram) -> AdornedProgram:

@@ -33,7 +33,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..datalog.terms import FreshVariables, Variable
+from ..datalog.terms import FreshVariables
 from ..datalog.unify import unify
 from .adornment import AdornedLiteral, AdornedProgram, AdornedRule
 
@@ -133,12 +133,12 @@ def _splice(
         return AdornedLiteral(lit.atom.substitute(theta), lit.adornment, lit.derived)
 
     new_body = (
-        tuple(apply(l) for l in consumer.body[:body_index])
-        + tuple(apply(l) for l in def_body)
-        + tuple(apply(l) for l in consumer.body[body_index + 1 :])
+        tuple(apply(lit) for lit in consumer.body[:body_index])
+        + tuple(apply(lit) for lit in def_body)
+        + tuple(apply(lit) for lit in consumer.body[body_index + 1 :])
     )
-    new_negative = tuple(apply(l) for l in consumer.negative) + tuple(
-        apply(l) for l in def_negative
+    new_negative = tuple(apply(lit) for lit in consumer.negative) + tuple(
+        apply(lit) for lit in def_negative
     )
     head = AdornedLiteral(
         consumer.head.atom.substitute(theta),

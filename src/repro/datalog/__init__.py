@@ -6,7 +6,7 @@ and the structural notions (chain programs, derivation trees live in
 :mod:`repro.engine.provenance`) the optimizations are stated over.
 """
 
-from .ast import Atom, Program, Rule, atom, rule
+from .ast import Atom, Program, Rule, Span, atom, rule
 from .database import Database, Relation
 from .errors import (
     ArityError,
@@ -25,6 +25,7 @@ __all__ = [
     "Atom",
     "Program",
     "Rule",
+    "Span",
     "atom",
     "rule",
     "Database",

@@ -18,13 +18,30 @@ and integers and apply the variable/constant naming convention of
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Iterable, Iterator, Mapping, Optional
 
 from .errors import ArityError, SafetyError, ValidationError
 from .terms import Constant, Term, Variable, term
 
-__all__ = ["Atom", "Rule", "Program", "atom", "rule"]
+__all__ = ["Span", "Atom", "Rule", "Program", "atom", "rule"]
+
+
+@dataclass(frozen=True, slots=True)
+class Span:
+    """A 1-based source position (line, column) of a parsed node.
+
+    Spans are carried by :class:`Atom` and :class:`Rule` purely as
+    provenance for diagnostics: they never participate in equality or
+    hashing, so transformed programs compare identically whether or not
+    their atoms remember where they were parsed from.
+    """
+
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.column}"
 
 
 @dataclass(frozen=True, slots=True)
@@ -37,6 +54,9 @@ class Atom:
 
     predicate: str
     args: tuple[Term, ...] = ()
+    #: source position of the predicate token; excluded from
+    #: equality/hash/repr (diagnostic provenance only)
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
     @property
     def arity(self) -> int:
@@ -67,11 +87,12 @@ class Atom:
         return Atom(
             self.predicate,
             tuple(subst.get(a, a) if isinstance(a, Variable) else a for a in self.args),
+            span=self.span,
         )
 
     def rename_predicate(self, new_name: str) -> "Atom":
         """Return the same atom under a different predicate name."""
-        return Atom(new_name, self.args)
+        return Atom(new_name, self.args, span=self.span)
 
     def as_fact(self) -> tuple:
         """Return the tuple of constant values; requires a ground atom."""
@@ -98,6 +119,9 @@ class Rule:
     head: Atom
     body: tuple[Atom, ...] = ()
     negative: tuple[Atom, ...] = ()
+    #: source position of the rule (its head token); excluded from
+    #: equality/hash/repr (diagnostic provenance only)
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
     def variables(self) -> tuple[Variable, ...]:
         """All variables of the rule, head first, in occurrence order."""
@@ -130,6 +154,7 @@ class Rule:
             self.head.substitute(subst),
             tuple(a.substitute(subst) for a in self.body),
             tuple(a.substitute(subst) for a in self.negative),
+            span=self.span,
         )
 
     def rename_apart(self, suffix: str) -> "Rule":
@@ -277,9 +302,10 @@ class Program:
                 }
                 unsafe = exposed - r.body_variables()
                 names = ", ".join(sorted(v.name for v in unsafe))
+                where = f" (line {r.span.line})" if r.span is not None else ""
                 raise SafetyError(
                     f"unsafe rule (variables {names} not bound by the positive "
-                    f"body): {r}"
+                    f"body): {r}{where}"
                 )
         return self
 

@@ -30,7 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, Optional
 
-from .ast import Atom, Program, Rule
+from .ast import Atom, Program, Rule, Span
 from .errors import ParseError
 from .terms import Constant, Term, Variable
 
@@ -195,7 +195,7 @@ class _Parser:
                 while self._accept("COMMA"):
                     self.literal(body, negative)
             self._expect("DOT")
-            rules.append(Rule(head, tuple(body), tuple(negative)))
+            rules.append(Rule(head, tuple(body), tuple(negative), span=head.span))
         return Program(tuple(rules), query)
 
     def literal(self, body: list, negative: list) -> None:
@@ -233,7 +233,7 @@ class _Parser:
                 while self._accept("COMMA"):
                     args.append(self.term())
             self._expect("RPAREN")
-        return Atom(name, tuple(args))
+        return Atom(name, tuple(args), span=Span(name_tok.line, name_tok.column))
 
     def term(self) -> Term:
         tok = self._current

@@ -70,13 +70,13 @@ def is_self_embedding(grammar: Grammar) -> bool:
                         seen.add(state)
                         queue.append(state)
         while queue:
-            sym, l, r = queue.popleft()
-            if sym == origin and l and r:
+            sym, left, right = queue.popleft()
+            if sym == origin and left and right:
                 return True
             for p in grammar.productions_for(sym):
                 for i, child in enumerate(p.rhs):
                     if child in nts:
-                        state = (child, l or i > 0, r or i < len(p.rhs) - 1)
+                        state = (child, left or i > 0, right or i < len(p.rhs) - 1)
                         if state not in seen:
                             seen.add(state)
                             queue.append(state)

@@ -118,6 +118,7 @@ class Shell:
             ".rules": self._cmd_rules,
             ".facts": self._cmd_facts,
             ".optimize": self._cmd_optimize,
+            ".lint": self._cmd_lint,
             ".explain": self._cmd_explain,
             ".stats": self._cmd_stats,
             ".strata": self._cmd_strata,
@@ -153,6 +154,16 @@ class Shell:
             return
         result = optimize(self._program(self.last_query))
         self._print(result.describe())
+
+    def _cmd_lint(self, args) -> None:
+        from .analysis import lint_program
+
+        report = lint_program(
+            self._program(self.last_query),
+            edb=self.db.predicates(),
+            source="<shell>",
+        )
+        self._print(report.render_text())
 
     def _cmd_explain(self, args) -> None:
         if len(args) != 2:
@@ -225,7 +236,7 @@ class Shell:
     def _cmd_help(self, args) -> None:
         self._print(
             "statements: rules (p(X) :- q(X).), facts (edge(1,2).), queries (?- p(X).)",
-            "commands: .rules .facts .optimize .explain .stats .strata .load .save .clear .quit",
+            "commands: .rules .facts .optimize .lint .explain .stats .strata .load .save .clear .quit",
         )
 
 

@@ -1,0 +1,56 @@
+"""Acceptance sweep: every shipped program is lint-clean and the
+pass-contract sanitizer accepts the full optimizer pipeline on it.
+
+These are the ISSUE acceptance gates: `repro lint --strict` exits 0
+for all paper examples and workload families, and optimize(...,
+validate=True) raises no InvariantViolation anywhere.
+"""
+
+import pytest
+
+from repro.analysis import lint_program, validate_result
+from repro.core.pipeline import optimize
+from repro.workloads.families import all_families
+from repro.workloads.paper_examples import (
+    example1_program,
+    example2_program,
+    example5_program,
+    example12_original,
+    example12_transformed,
+)
+
+FAMILIES = sorted(all_families().items())
+
+EXAMPLES = [
+    ("example1", example1_program()),
+    ("example2", example2_program()),
+    ("example5", example5_program()),
+    ("example12_original", example12_original()),
+    ("example12_transformed", example12_transformed()),
+]
+
+
+@pytest.mark.parametrize("name,program", FAMILIES, ids=[n for n, _ in FAMILIES])
+def test_family_is_strict_clean(name, program):
+    report = lint_program(program)
+    assert report.exit_code(strict=True) == 0, report.render_text()
+
+
+@pytest.mark.parametrize("name,program", EXAMPLES, ids=[n for n, _ in EXAMPLES])
+def test_paper_example_is_strict_clean(name, program):
+    report = lint_program(program)
+    assert report.exit_code(strict=True) == 0, report.render_text()
+
+
+@pytest.mark.parametrize("name,program", FAMILIES, ids=[n for n, _ in FAMILIES])
+def test_family_pipeline_validates(name, program):
+    validate_result(optimize(program, validate=True))
+
+
+@pytest.mark.parametrize("name,program", EXAMPLES, ids=[n for n, _ in EXAMPLES])
+def test_paper_example_pipeline_validates(name, program):
+    validate_result(optimize(program, validate=True))
+
+
+def test_families_are_nonempty():
+    assert len(FAMILIES) >= 10

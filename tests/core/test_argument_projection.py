@@ -5,7 +5,6 @@ import pytest
 from repro.datalog import TransformError
 from repro.core.argument_projection import (
     ArgumentProjection,
-    head_body_projection,
     identity_projection,
     program_projections,
     query_rooted_summaries,

@@ -1,6 +1,6 @@
 """Tests for the connected-component / boolean rewriting (section 3.1)."""
 
-from repro.datalog import Database, parse
+from repro.datalog import parse
 from repro.engine import EngineOptions, evaluate
 from repro.core.adornment import adorn
 from repro.core.components import rule_components, split_components

@@ -3,7 +3,7 @@ the uniform-query-equivalence chase, and the cascade clean-ups."""
 
 import pytest
 
-from repro.datalog import TransformError, parse
+from repro.datalog import TransformError
 from repro.engine import evaluate
 from repro.core.adornment import adorn
 from repro.core.deletion import (

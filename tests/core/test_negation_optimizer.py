@@ -14,7 +14,7 @@ Policy under test:
 
 import pytest
 
-from repro.datalog import Database, TransformError, parse
+from repro.datalog import TransformError, parse
 from repro.engine import EngineOptions, evaluate
 from repro.core import (
     adorn,

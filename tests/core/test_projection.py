@@ -8,7 +8,6 @@ from repro.core.adornment import adorn
 from repro.core.projection import project_literal, push_projections
 from repro.workloads.edb import random_edb
 from repro.workloads.paper_examples import (
-    adorned_from_text,
     example1_program,
     example3_expected_text,
 )

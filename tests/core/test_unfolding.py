@@ -1,6 +1,5 @@
 """Tests for the unfolding post-pass (section-6 literal transformation)."""
 
-import pytest
 
 from repro.datalog import parse
 from repro.engine import evaluate

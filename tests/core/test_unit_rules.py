@@ -4,7 +4,6 @@ import pytest
 
 from repro.datalog import TransformError
 from repro.core.adornment import Adornment, adorn
-from repro.core.projection import push_projections
 from repro.core.unit_rules import (
     add_covering_unit_rules,
     canonical_rule_key,

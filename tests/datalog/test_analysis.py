@@ -3,6 +3,8 @@
 from repro.datalog import parse
 from repro.datalog.analysis import (
     analyze,
+    component_depths,
+    condensation,
     dependency_graph,
     is_chain_program,
     is_chain_rule,
@@ -129,3 +131,86 @@ class TestAnalyzeBundle:
         assert info.edb == {"edge"}
         assert info.reachable_from_query == {"tc", "edge"}
         assert info.is_derived("tc") and not info.is_derived("edge")
+
+
+class TestCondensation:
+    def test_self_loop_scc_drops_self_edge(self):
+        # tc's SCC depends on itself (recursion) and on edge; the
+        # condensation keeps only the cross-component edge
+        info = analyze(TC)
+        edges = condensation(info)
+        tc_idx = next(i for i, scc in enumerate(info.sccs) if "tc" in scc)
+        edge_idx = next(i for i, scc in enumerate(info.sccs) if "edge" in scc)
+        assert edges[tc_idx] == frozenset({edge_idx})
+        assert tc_idx not in edges[tc_idx]
+
+    def test_edges_point_at_smaller_indexes(self):
+        info = analyze(MUTUAL)
+        for i, deps in condensation(info).items():
+            assert all(j < i for j in deps)
+
+    def test_mutual_recursion_is_one_component(self):
+        info = analyze(MUTUAL)
+        assert frozenset({"even", "odd"}) in info.sccs
+
+    def test_rule_free_program_has_no_components(self):
+        assert condensation(analyze(parse("?- p(X)."))) == {}
+
+
+class TestComponentDepths:
+    def test_chain_of_dependencies(self):
+        # 0 <- 1 <- 2: depths 0, 1, 2
+        edges = {0: frozenset(), 1: frozenset({0}), 2: frozenset({1})}
+        assert component_depths(edges, [0, 1, 2]) == {0: 0, 1: 1, 2: 2}
+
+    def test_restriction_to_within(self):
+        # dependency on a component outside *within* does not add depth
+        edges = {0: frozenset(), 1: frozenset({0}), 2: frozenset({1})}
+        assert component_depths(edges, [1, 2]) == {1: 0, 2: 1}
+
+    def test_diamond_takes_longest_path(self):
+        edges = {
+            0: frozenset(),
+            1: frozenset({0}),
+            2: frozenset({0, 1}),
+            3: frozenset({1, 2}),
+        }
+        assert component_depths(edges, [0, 1, 2, 3]) == {0: 0, 1: 1, 2: 2, 3: 3}
+
+    def test_self_loop_component_depth(self):
+        # a recursive SCC's self-edge is dropped by condensation, so a
+        # lone self-recursive component sits at depth 0
+        info = analyze(TC)
+        edges = condensation(info)
+        depths = component_depths(edges, range(len(info.sccs)))
+        tc_idx = next(i for i, scc in enumerate(info.sccs) if "tc" in scc)
+        edge_idx = next(i for i, scc in enumerate(info.sccs) if "edge" in scc)
+        assert depths[edge_idx] == 0
+        assert depths[tc_idx] == 1
+
+
+class TestChainEdgeCases:
+    def test_unit_chain_rule(self):
+        assert is_chain_rule(parse_rule("p(X, Y) :- q(X, Y)."))
+
+    def test_constant_in_head_not_chain(self):
+        assert not is_chain_rule(parse_rule("p(1, Y) :- q(1, Y)."))
+
+    def test_constant_in_body_not_chain(self):
+        assert not is_chain_rule(parse_rule("p(X, Y) :- q(X, 3), r(3, Y)."))
+
+    def test_chain_variable_reused_as_terminal(self):
+        # Z closes back onto the opening variable: not a chain
+        assert not is_chain_rule(parse_rule("p(X, Y) :- a(X, X), b(X, Y)."))
+
+    def test_head_second_var_must_close_chain(self):
+        assert not is_chain_rule(parse_rule("p(X, Y) :- a(X, Z), b(Z, W)."))
+
+    def test_chain_program_with_fact_rule(self):
+        # a fact has no body, so it cannot be a chain rule
+        program = parse("p(1, 2).\np(X, Y) :- q(X, Y).\n?- p(X, Y).")
+        assert not is_chain_program(program)
+
+    def test_chain_program_unit_rules_only(self):
+        program = parse("p(X, Y) :- q(X, Y).\nq(X, Y) :- r(X, Y).\n?- p(X, Y).")
+        assert is_chain_program(program)

@@ -4,9 +4,7 @@ import pytest
 
 from repro.datalog import (
     ArityError,
-    Atom,
     Program,
-    Rule,
     SafetyError,
     ValidationError,
     atom,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.datalog import ParseError, atom, parse, parse_atom, parse_rule
+from repro.datalog import ParseError, Span, atom, parse, parse_atom, parse_rule
 from repro.datalog.parser import split_facts, tokenize
 from repro.datalog.terms import Constant, Variable
 
@@ -137,3 +137,45 @@ class TestParser:
     def test_roundtrip_pretty_print(self):
         src = "tc(X, Y) :- edge(X, Z), tc(Z, Y)."
         assert str(parse(src).rules[0]) == src
+
+
+class TestSourceSpans:
+    def test_atom_spans_point_at_predicate_tokens(self):
+        src = "tc(X, Y) :- edge(X, Z), tc(Z, Y)."
+        r = parse(src).rules[0]
+        assert r.head.span == Span(1, 1)
+        assert r.body[0].span == Span(1, 13)
+        assert r.body[1].span == Span(1, 25)
+
+    def test_rule_span_is_head_span(self):
+        r = parse_rule("p(X) :- q(X).")
+        assert r.span == Span(1, 1)
+
+    def test_spans_track_lines(self):
+        src = "p(X) :- q(X).\n\n  r(Y) :- s(Y)."
+        p = parse(src)
+        assert p.rules[0].span == Span(1, 1)
+        assert p.rules[1].span == Span(3, 3)
+
+    def test_query_span(self):
+        p = parse("p(X) :- q(X).\n?- p(X).")
+        assert p.query.span == Span(2, 4)
+
+    def test_negated_literal_span(self):
+        r = parse_rule("p(X) :- q(X), not s(X).")
+        assert r.negative[0].span == Span(1, 19)
+
+    def test_equality_ignores_spans(self):
+        a = parse("p(X) :- q(X).").rules[0]
+        b = parse("\n\n   p(X) :- q(X).").rules[0]
+        assert a.span != b.span
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a.head == b.head and hash(a.head) == hash(b.head)
+
+    def test_programmatic_atoms_have_no_span(self):
+        assert atom("p", 1).span is None
+
+    def test_span_survives_rename(self):
+        a = parse("p(X) :- q(X).").rules[0].head
+        assert a.rename_predicate("p@d").span == a.span

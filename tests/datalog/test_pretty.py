@@ -2,7 +2,7 @@
 
 from repro.datalog import parse, parse_rule
 from repro.datalog.pretty import diff_programs, paper_atom, paper_rule, render
-from repro.core import adorn, optimize, push_projections
+from repro.core import adorn, optimize
 from repro.workloads.paper_examples import example1_program
 
 
@@ -53,8 +53,8 @@ class TestRender:
     def test_alignment(self):
         adorned = adorn(example1_program())
         lines = render(adorned).splitlines()
-        rule_lines = [l for l in lines if ":-" in l]
-        positions = {l.index(":-") for l in rule_lines}
+        rule_lines = [line for line in lines if ":-" in line]
+        positions = {line.index(":-") for line in rule_lines}
         assert len(positions) == 1
 
     def test_plain_program_renders(self):

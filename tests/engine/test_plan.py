@@ -1,7 +1,7 @@
 """Unit tests for rule compilation and join planning."""
 
 from repro.datalog import Database, parse_rule
-from repro.datalog.terms import Constant, Variable
+from repro.datalog.terms import Variable
 from repro.engine import EvalStats, compile_rule, order_body
 from repro.engine.plan import match_plan
 

@@ -4,7 +4,11 @@ import pytest
 
 from repro.datalog import Database, TransformError, ValidationError, parse
 from repro.engine import evaluate
-from repro.grammar.cfg import Grammar, Production, grammar_to_program, program_to_grammar
+from repro.grammar.cfg import (
+    Production,
+    grammar_to_program,
+    program_to_grammar,
+)
 from repro.workloads.graphs import chain
 
 

@@ -5,7 +5,7 @@ import pytest
 
 from repro.datalog import Database, TransformError, parse
 from repro.engine import evaluate
-from repro.grammar.cfg import Grammar, Production, program_to_grammar
+from repro.grammar.cfg import Grammar, Production
 from repro.grammar.language import language
 from repro.grammar.regular import (
     is_left_linear,
@@ -13,7 +13,6 @@ from repro.grammar.regular import (
     is_self_embedding,
     monadic_program_for,
     nfa_accepts,
-    nfa_to_monadic_program,
     right_linear_to_nfa,
 )
 from repro.workloads.graphs import chain, random_digraph

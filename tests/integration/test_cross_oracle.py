@@ -11,7 +11,6 @@ space is the strongest correctness signal the suite produces.
 import pytest
 
 from repro.core import optimize
-from repro.datalog.builtins import has_builtins
 from repro.engine import EngineOptions, evaluate
 from repro.engine.topdown import evaluate_topdown
 from repro.rewriting import magic_sets

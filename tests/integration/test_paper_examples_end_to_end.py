@@ -6,7 +6,6 @@ equivalence on random databases.  This file is the machine-checkable
 version of the experiment index in DESIGN.md.
 """
 
-import pytest
 
 from repro.datalog import parse
 from repro.datalog.analysis import recursive_predicates

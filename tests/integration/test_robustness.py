@@ -5,7 +5,7 @@ import pytest
 
 from repro.datalog import Database, Program, parse
 from repro.engine import evaluate
-from repro.core import delete_rules, optimize, push_projections, adorn
+from repro.core import delete_rules, optimize
 from repro.workloads.edb import random_edb
 from repro.workloads.paper_examples import (
     adorned_from_text,

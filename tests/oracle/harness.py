@@ -135,7 +135,9 @@ def assert_all_agree(program: Program, db: Database) -> frozenset:
     pre = strategy_answers(program, db)
     _assert_agree(pre, "pre-optimizer")
 
-    result = optimize(program)
+    # validate=True arms the pass-contract sanitizer: every differential
+    # run also checks each pipeline pass against its published invariant.
+    result = optimize(program, validate=True)
     post = {
         label: result.answers(db, **{**BASE_OVERRIDES, **overrides})
         for label, overrides in STRATEGIES.items()

@@ -17,7 +17,6 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.datalog import Database
 from repro.engine import EngineOptions, evaluate
 from repro.workloads.edb import random_edb
 from repro.workloads.families import all_families

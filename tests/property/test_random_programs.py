@@ -9,7 +9,7 @@ in the suite: any unsound adornment, projection, subsumption or
 deletion shows up here as a falsifying program.
 """
 
-from hypothesis import assume, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.engine import evaluate

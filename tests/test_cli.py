@@ -234,3 +234,123 @@ class TestSubsumptionLogging:
         result = optimize(program)
         assert result.subsumed
         assert "theta-subsumption" in result.describe()
+
+
+DIRTY = """
+    p(X, Y) :- e(X).
+    p(X) :- e(X).
+    dead(X) :- e(X).
+    ?- p(X).
+"""
+
+WARN_ONLY = """
+    p(X) :- e(X).
+    p(Y) :- e(Y).
+    ?- p(X).
+"""
+
+
+class TestLint:
+    @pytest.fixture
+    def lint_files(self, tmp_path):
+        clean = tmp_path / "clean.dl"
+        clean.write_text(PROGRAM)
+        dirty = tmp_path / "dirty.dl"
+        dirty.write_text(DIRTY)
+        warn = tmp_path / "warn.dl"
+        warn.write_text(WARN_ONLY)
+        facts = tmp_path / "facts.dl"
+        facts.write_text(FACTS)
+        return clean, dirty, warn, facts
+
+    def test_clean_program_exits_zero(self, lint_files, capsys):
+        clean, _, _, _ = lint_files
+        assert main(["lint", str(clean)]) == 0
+        out = capsys.readouterr().out
+        # the reach query drops a column, so the optimizer opportunity
+        # is reported as an info — infos never affect the exit code
+        assert "info[DL010] existential-position" in out
+        assert out.strip().splitlines()[-1] == "0 error(s), 0 warning(s), 1 info(s)"
+
+    def test_infos_do_not_fail_strict(self, lint_files, capsys):
+        clean, _, _, _ = lint_files
+        assert main(["lint", str(clean), "--strict"]) == 0
+
+    def test_errors_exit_two_with_rendered_diagnostics(self, lint_files, capsys):
+        _, dirty, _, _ = lint_files
+        assert main(["lint", str(dirty)]) == 2
+        out = capsys.readouterr().out
+        assert "error[DL001] unsafe-rule" in out
+        assert "error[DL002] arity-mismatch" in out
+        assert str(dirty) + ":" in out  # diagnostics carry the file name
+
+    def test_warnings_pass_by_default_fail_strict(self, lint_files, capsys):
+        _, _, warn, _ = lint_files
+        assert main(["lint", str(warn)]) == 0
+        capsys.readouterr()
+        assert main(["lint", str(warn), "--strict"]) == 2
+        out = capsys.readouterr().out
+        assert "warning[DL008] duplicate-rule" in out
+
+    def test_json_format(self, lint_files, capsys):
+        import json
+
+        _, dirty, _, _ = lint_files
+        assert main(["lint", str(dirty), "--format", "json"]) == 2
+        payload = json.loads(capsys.readouterr().out)
+        codes = {d["code"] for d in payload["diagnostics"]}
+        assert "DL001" in codes and "DL002" in codes
+        assert payload["counts"]["error"] >= 2
+        assert payload["source"] == str(dirty)
+
+    def test_facts_file_defines_edb(self, tmp_path, capsys):
+        program = tmp_path / "p.dl"
+        program.write_text("p(X) :- ghost(X).\n?- p(X).")
+        facts = tmp_path / "f.dl"
+        facts.write_text("e(1).")
+        # without facts the EDB is unknown: ghost is assumed stored
+        assert main(["lint", str(program)]) == 0
+        capsys.readouterr()
+        # with facts the EDB is known and ghost is flagged
+        assert main(["lint", str(program), str(facts), "--strict"]) == 2
+        out = capsys.readouterr().out
+        assert "warning[DL006] undefined-body-predicate" in out
+        assert "ghost" in out
+
+    def test_missing_file(self, capsys):
+        assert main(["lint", "/nonexistent.dl"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_facts_lint_as_info_not_parse_error(self, tmp_path, capsys):
+        program = tmp_path / "p.dl"
+        program.write_text("e(1, 2).\np(X) :- e(X, Y).\n?- p(X).")
+        assert main(["lint", str(program)]) == 0
+        assert "info[DL015] fact-in-program" in capsys.readouterr().out
+
+
+class TestValidateFlag:
+    def test_optimize_validate_clean(self, files, capsys):
+        program, _, _ = files
+        assert main(["optimize", str(program), "--validate", "-q"]) == 0
+
+    def test_run_validate_clean(self, files, capsys):
+        program, facts, _ = files
+        assert main(["run", str(program), str(facts), "-O", "--validate"]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert sorted(out) == ["1", "2", "7"]
+
+
+class TestDiagnosticWarnings:
+    def test_run_warns_on_undefined_body_predicate(self, tmp_path, capsys):
+        program = tmp_path / "p.dl"
+        program.write_text("p(X) :- e(X), ghost(X).\n?- p(X).")
+        facts = tmp_path / "f.dl"
+        facts.write_text("e(1).")
+        assert main(["run", str(program), str(facts)]) == 0
+        err = capsys.readouterr().err
+        assert "DL006" in err and "ghost" in err
+
+    def test_run_quiet_on_fully_defined_program(self, files, capsys):
+        program, facts, _ = files
+        assert main(["run", str(program), str(facts)]) == 0
+        assert "DL" not in capsys.readouterr().err

@@ -2,7 +2,6 @@
 
 import io
 
-import pytest
 
 from repro.shell import Shell, run_shell
 
