@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test oracle faults check bench report lint
+.PHONY: test oracle faults incremental check bench report lint
 
 test:  ## tier-1 test suite
 	$(PYTHON) -m pytest -x -q
@@ -11,6 +11,9 @@ oracle:  ## differential oracle suite (fixed Hypothesis randomness)
 
 faults:  ## robustness suites: governor limits, fault injection, oracle property
 	$(PYTHON) -m pytest tests/engine/test_governor.py tests/engine/test_faults.py tests/oracle/test_faults.py -q
+
+incremental:  ## IVM suites: differential maintenance oracle + session properties
+	$(PYTHON) -m pytest tests/oracle/test_incremental.py tests/engine/test_incremental.py -q --hypothesis-seed=0
 
 # The gate: tier-1 plus the oracle suite, all Hypothesis runs pinned
 # to a fixed seed so `make check` is reproducible run to run.

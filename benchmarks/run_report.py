@@ -30,6 +30,7 @@ import bench_example3_projection as e3
 import bench_example6_uqe as e6
 import bench_example12_transform as e12
 import bench_arity_sweep as p5
+import bench_incremental as ivm
 import bench_magic_composition as p4
 import bench_scheduler as sched
 import bench_topdown_vs_magic as td
@@ -569,6 +570,105 @@ def report_governor() -> None:
     print(f"(wrote {GOVERNOR_JSON.name})")
 
 
+#: machine-readable incremental-vs-scratch measurement, regenerated by
+#: report_incremental()
+INCREMENTAL_JSON = Path(__file__).parent / "BENCH_incremental.json"
+
+#: the acceptance floor: a 1%-update batch must beat a from-scratch
+#: re-evaluation by at least this factor
+INCREMENTAL_MIN_SPEEDUP = 5.0
+
+
+def report_incremental() -> None:
+    """Incremental maintenance vs from-scratch on 1%-update workloads;
+    writes BENCH_incremental.json.
+
+    For each workload and update direction, the from-scratch column
+    re-evaluates the program over the *updated* EDB; the incremental
+    column applies the same batch to an already-materialized
+    :class:`IncrementalSession` (session construction excluded — that
+    cost is the one-off the session exists to amortize, and the
+    prepared-program cache makes repeat constructions cheap anyway).
+    Both sides must land on identical fact sets, checked per run.  A
+    speedup below the x5 acceptance floor is reported through the same
+    gate as the fact-count regressions.
+    """
+    from repro.datalog import Database
+    from repro.engine import IncrementalSession
+
+    payload = {
+        "_meta": {
+            "note": "wall_ms_* are one warmed run on this machine; the "
+            "speedup is the portable quantity (work ratio, not core "
+            "speed).  Update batches are ~1% of the base EDB.",
+            "min_speedup": INCREMENTAL_MIN_SPEEDUP,
+        }
+    }
+    baseline = load_baseline(INCREMENTAL_JSON)
+    rows = []
+    for family, wl in ivm.WORKLOADS.items():
+        payload[family] = {}
+        for kind in ("insert", "retract"):
+            updated = wl.updated_rows(kind)
+            scratch_db = Database.from_dict(
+                {p: sorted(r) for p, r in updated.items() if r}
+            )
+            ms_scratch, scratch = timed(
+                lambda d=scratch_db: evaluate(wl.program, d)
+            )
+
+            def maintained():
+                session = IncrementalSession(wl.program, wl.make_db())
+                batch = wl.batch(kind)
+                start = time.perf_counter()
+                if kind == "insert":
+                    session.insert(batch)
+                else:
+                    session.retract(batch)
+                return (time.perf_counter() - start) * 1000.0, session
+
+            maintained()  # warm-up (indexes, kernels, prepared cache)
+            ms_inc, session = maintained()
+            for pred in wl.program.idb_predicates():
+                assert session.facts(pred) == scratch.db.rows(pred), (
+                    f"incremental diverged from scratch on {family}/{kind}: "
+                    f"{pred}"
+                )
+            speedup = ms_scratch / max(ms_inc, 1e-6)
+            if speedup < INCREMENTAL_MIN_SPEEDUP:
+                VIOLATIONS.append(
+                    f"incremental: {family}/{kind} speedup x{speedup:.1f} "
+                    f"is below the x{INCREMENTAL_MIN_SPEEDUP:.0f} "
+                    f"acceptance floor"
+                )
+            stats = session.last_stats
+            payload[family][kind] = {
+                "wall_ms_incremental": round(ms_inc, 3),
+                "wall_ms_scratch": round(ms_scratch, 3),
+                "speedup": round(speedup, 2),
+                **stats.as_dict(),
+            }
+            check_against_baseline(
+                "incremental", baseline, family, kind, stats.facts_derived
+            )
+            rows.append([
+                family, kind, fmt(ms_scratch), fmt(ms_inc),
+                f"x{speedup:.1f}", stats.facts_derived,
+                stats.facts_retracted, stats.facts_rederived,
+                f"{stats.units_reactivated}/{stats.units_scheduled}",
+            ])
+    with open(INCREMENTAL_JSON, "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.write("\n")
+    table(
+        "IVM — incremental maintenance vs from-scratch (1% updates)",
+        ["workload", "update", "scratch", "incremental", "speedup",
+         "derived", "retracted", "rederived", "units"],
+        rows,
+    )
+    print(f"(wrote {INCREMENTAL_JSON.name})")
+
+
 REPORTS = {
     "e2": report_e2,
     "e3": report_e3,
@@ -581,6 +681,7 @@ REPORTS = {
     "engine": report_engine,
     "scheduler": report_scheduler,
     "governor": report_governor,
+    "incremental": report_incremental,
 }
 
 

@@ -5,6 +5,7 @@ Usage (also via ``python -m repro``)::
     python -m repro optimize program.dl            # print the pipeline story
     python -m repro run program.dl facts.dl        # evaluate a query
     python -m repro run program.dl facts.dl -O     # ... after optimization
+    python -m repro serve program.dl [facts.dl]    # incremental update session
     python -m repro lint program.dl [facts.dl]     # static diagnostics
     python -m repro grammar program.dl             # chain-program/CFG view
     python -m repro explain program.dl facts.dl p "1,2"   # derivation tree
@@ -23,7 +24,13 @@ from typing import Optional, Sequence
 from .core.pipeline import optimize
 from .datalog import Database, Program, ReproError, parse
 from .datalog.parser import split_facts
-from .engine import EngineOptions, ResourceExhausted, evaluate, parse_fault_specs
+from .engine import (
+    EngineOptions,
+    IncrementalSession,
+    ResourceExhausted,
+    evaluate,
+    parse_fault_specs,
+)
 
 __all__ = ["main"]
 
@@ -91,10 +98,8 @@ def _cmd_optimize(args) -> int:
     return 0
 
 
-def _cmd_run(args) -> int:
-    program = _load_program(args.program)
-    db = _load_facts(args.facts)
-    _warn_diagnostics(program, args.program, edb=db.predicates())
+def _engine_kwargs(args) -> dict:
+    """The EngineOptions kwargs shared by ``run`` and ``serve``."""
     engine = dict(
         use_indexes=not args.no_index,
         use_kernels=not args.no_kernel,
@@ -107,6 +112,14 @@ def _cmd_run(args) -> int:
     )
     if args.inject_fault:
         engine["fault_plan"] = parse_fault_specs(args.inject_fault)
+    return engine
+
+
+def _cmd_run(args) -> int:
+    program = _load_program(args.program)
+    db = _load_facts(args.facts)
+    _warn_diagnostics(program, args.program, edb=db.predicates())
+    engine = _engine_kwargs(args)
     try:
         if args.optimize:
             result = optimize(program, validate=args.validate)
@@ -131,6 +144,97 @@ def _cmd_run(args) -> int:
         )
     if args.stats:
         print(f"-- {evaluation.stats.summary()}", file=sys.stderr)
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    """Incremental mode: materialize once, then maintain the fixpoint
+    under a line protocol on stdin.
+
+    Commands (one per line)::
+
+        +edge(1, 2). edge(2, 3).   apply the facts as one insert batch
+        -edge(1, 2).               apply the facts as one retract batch
+        ?                          print the program query's answers
+        ? pred                     print the stored rows of a predicate
+        .stats                     cumulative session counters (stderr)
+        .last                      last batch's counters (stderr)
+        .refresh                   re-run fixpoint (restores exactness
+                                   after a partial, governed batch)
+        .quit                      exit (EOF also exits)
+
+    Each update line is one governed batch: deadlines/budgets from the
+    engine flags apply per batch.  A tripped batch prints an error and
+    leaves the session in a flagged lower-bound state; the session keeps
+    serving and ``.refresh`` restores exactness.
+    """
+    program = _load_program(args.program)
+    db = _load_facts(args.facts) if args.facts else Database()
+    _warn_diagnostics(program, args.program, edb=db.predicates())
+    opts = EngineOptions(**_engine_kwargs(args))
+    try:
+        session = IncrementalSession(program, db, opts)
+    except ResourceExhausted as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_RESOURCE_EXHAUSTED
+
+    def parse_batch(text: str):
+        batch_program, facts = split_facts(parse(text))
+        if batch_program.rules or batch_program.query is not None:
+            raise ReproError(
+                "update batches must contain only ground facts"
+            )
+        return facts
+
+    print(f"ready {session.stats.summary()}", file=sys.stderr)
+    for raw in args.input if args.input is not None else sys.stdin:
+        line = raw.strip()
+        try:
+            if not line or line.startswith("%"):
+                continue
+            if line in (".quit", ".exit"):
+                break
+            if line == ".stats":
+                print(f"-- {session.stats.summary()}", file=sys.stderr)
+                continue
+            if line == ".last":
+                print(f"-- {session.last_stats.summary()}", file=sys.stderr)
+                continue
+            if line == ".refresh":
+                batch = session.refresh()
+                print(f"ok {batch.summary()}")
+                continue
+            if line == "?" or line.startswith("? "):
+                pred = line[1:].strip()
+                rows = session.facts(pred) if pred else session.answers()
+                for row in sorted(rows, key=repr):
+                    print(", ".join(map(str, row)))
+                if session.is_partial:
+                    print(
+                        "-- PARTIAL RESULT (lower bound): a previous "
+                        "batch was aborted; run .refresh",
+                        file=sys.stderr,
+                    )
+                continue
+            if line[0] in "+-":
+                facts = parse_batch(line[1:])
+                if line[0] == "+":
+                    batch = session.insert(facts)
+                else:
+                    batch = session.retract(facts)
+                partial = " PARTIAL" if session.is_partial else ""
+                print(f"ok{partial} {batch.summary()}")
+                continue
+            raise ReproError(f"unrecognized command: {line!r}")
+        except ResourceExhausted as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            print(
+                "-- session state is a sound lower bound; .refresh "
+                "restores exactness",
+                file=sys.stderr,
+            )
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
     return 0
 
 
@@ -229,6 +333,79 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("facts", help="file of ground facts (the EDB)")
     p_run.add_argument("-O", "--optimize", action="store_true")
     p_run.add_argument("--stats", action="store_true", help="work counters to stderr")
+    _add_engine_flags(p_run)
+    p_run.add_argument(
+        "--validate",
+        action="store_true",
+        help="with -O, arm the optimizer's pass-contract sanitizer "
+        "(see 'repro optimize --validate')",
+    )
+    p_run.set_defaults(fn=_cmd_run)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="incremental mode: materialize once, maintain under "
+        "+fact/-fact update batches from stdin",
+    )
+    p_serve.add_argument("program")
+    p_serve.add_argument(
+        "facts",
+        nargs="?",
+        default=None,
+        help="optional initial EDB fact file (default: empty)",
+    )
+    _add_engine_flags(p_serve)
+    p_serve.set_defaults(fn=_cmd_serve, input=None)
+
+    p_lint = sub.add_parser(
+        "lint", help="paper-grounded static diagnostics (no evaluation)"
+    )
+    p_lint.add_argument("program", help="Datalog program file")
+    p_lint.add_argument(
+        "facts",
+        nargs="?",
+        default=None,
+        help="optional fact file; enables undefined-predicate checks "
+        "against the actual EDB schema",
+    )
+    p_lint.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat warnings as errors (exit code 2)",
+    )
+    p_lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    p_lint.set_defaults(fn=_cmd_lint)
+
+    p_gram = sub.add_parser("grammar", help="chain-program / CFG view")
+    p_gram.add_argument("program")
+    p_gram.add_argument(
+        "--words", type=int, metavar="LEN", help="list L(G) members up to LEN"
+    )
+    p_gram.set_defaults(fn=_cmd_grammar)
+
+    p_shell = sub.add_parser("shell", help="interactive Datalog shell")
+    p_shell.add_argument(
+        "load", nargs="*", help="program/fact files to load on startup"
+    )
+    p_shell.set_defaults(fn=_cmd_shell)
+
+    p_exp = sub.add_parser("explain", help="print a fact's derivation tree")
+    p_exp.add_argument("program")
+    p_exp.add_argument("facts")
+    p_exp.add_argument("predicate")
+    p_exp.add_argument("row", help='comma-separated values, e.g. "1,2"')
+    p_exp.set_defaults(fn=_cmd_explain)
+
+    return parser
+
+
+def _add_engine_flags(p_run: argparse.ArgumentParser) -> None:
+    """Engine/governor/fault flags shared by ``run`` and ``serve``."""
     p_run.add_argument(
         "--no-index",
         action="store_true",
@@ -303,59 +480,6 @@ def build_parser() -> argparse.ArgumentParser:
         "index-build, scheduler, worker-death:N, unit-error:N, or "
         "slow-unit:N[:seconds]",
     )
-    p_run.add_argument(
-        "--validate",
-        action="store_true",
-        help="with -O, arm the optimizer's pass-contract sanitizer "
-        "(see 'repro optimize --validate')",
-    )
-    p_run.set_defaults(fn=_cmd_run)
-
-    p_lint = sub.add_parser(
-        "lint", help="paper-grounded static diagnostics (no evaluation)"
-    )
-    p_lint.add_argument("program", help="Datalog program file")
-    p_lint.add_argument(
-        "facts",
-        nargs="?",
-        default=None,
-        help="optional fact file; enables undefined-predicate checks "
-        "against the actual EDB schema",
-    )
-    p_lint.add_argument(
-        "--strict",
-        action="store_true",
-        help="treat warnings as errors (exit code 2)",
-    )
-    p_lint.add_argument(
-        "--format",
-        choices=("text", "json"),
-        default="text",
-        help="output format (default: text)",
-    )
-    p_lint.set_defaults(fn=_cmd_lint)
-
-    p_gram = sub.add_parser("grammar", help="chain-program / CFG view")
-    p_gram.add_argument("program")
-    p_gram.add_argument(
-        "--words", type=int, metavar="LEN", help="list L(G) members up to LEN"
-    )
-    p_gram.set_defaults(fn=_cmd_grammar)
-
-    p_shell = sub.add_parser("shell", help="interactive Datalog shell")
-    p_shell.add_argument(
-        "load", nargs="*", help="program/fact files to load on startup"
-    )
-    p_shell.set_defaults(fn=_cmd_shell)
-
-    p_exp = sub.add_parser("explain", help="print a fact's derivation tree")
-    p_exp.add_argument("program")
-    p_exp.add_argument("facts")
-    p_exp.add_argument("predicate")
-    p_exp.add_argument("row", help='comma-separated values, e.g. "1,2"')
-    p_exp.set_defaults(fn=_cmd_explain)
-
-    return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

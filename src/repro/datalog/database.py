@@ -69,6 +69,30 @@ class Relation:
         """Insert many rows; return the number actually added."""
         return sum(1 for row in rows if self.add(tuple(row)))
 
+    def discard(self, row: Row) -> bool:
+        """Remove *row*; return True iff it was present.
+
+        Maintains any already-built indexes incrementally (the row is
+        removed from each posting list; an emptied list is dropped so
+        index contents stay equal to a fresh build over the remaining
+        rows).
+        """
+        row = tuple(row)
+        if row not in self._rows:
+            return False
+        self._rows.discard(row)
+        for positions, index in self._indexes.items():
+            key = tuple(row[p] for p in positions)
+            posting = index.get(key)
+            if posting is not None:
+                try:
+                    posting.remove(row)
+                except ValueError:  # pragma: no cover - defensive
+                    pass
+                if not posting:
+                    del index[key]
+        return True
+
     # -- lookup -------------------------------------------------------------
 
     def __contains__(self, row: Row) -> bool:
@@ -289,6 +313,24 @@ class Database:
         for name, rel in self._relations.items():
             out._relations[name] = rel.copy() if name in mutable else rel
         return out
+
+    def privatize(self, predicate: str) -> Optional[Relation]:
+        """Replace *predicate*'s relation with an independent copy and
+        return it (None if absent).
+
+        The copy-on-write counterpart of ``copy(mutating=...)``: a
+        database holding relations *shared by reference* with another
+        database (the evaluation fast path) must privatize a relation
+        before mutating it in place — in particular before
+        :meth:`Relation.discard` — so retractions in one session can
+        never reach the EDB relations other sessions still read.
+        """
+        rel = self._relations.get(predicate)
+        if rel is None:
+            return None
+        rel = rel.copy()
+        self._relations[predicate] = rel
+        return rel
 
     def merged_with(self, other: "Database") -> "Database":
         """A new database containing the facts of both operands."""

@@ -15,6 +15,13 @@ Public entry point: :func:`evaluate`.
 """
 
 from .evaluator import EngineOptions, EvalResult, answers_of, evaluate
+from .incremental import IncrementalSession
+from .prepared import (
+    PreparedProgram,
+    clear_prepared_cache,
+    prepare,
+    prepared_cache_stats,
+)
 from .faults import (
     FaultInjector,
     FaultPlan,
@@ -34,7 +41,7 @@ from .kernel import (
 )
 from .plan import CompiledRule, DeltaIndex, LiteralPlan, compile_rule, order_body
 from .provenance import DerivationTree, Justification, derivation_tree
-from .scheduler import EvalUnit, build_units
+from .scheduler import EvalUnit, build_units, run_seeded_unit
 from .statistics import EvalStats
 from .topdown import TopDownResult, evaluate_topdown
 
@@ -43,6 +50,11 @@ __all__ = [
     "EvalResult",
     "evaluate",
     "answers_of",
+    "IncrementalSession",
+    "PreparedProgram",
+    "prepare",
+    "prepared_cache_stats",
+    "clear_prepared_cache",
     "Governor",
     "Guard",
     "ResourceExhausted",
@@ -68,6 +80,7 @@ __all__ = [
     "derivation_tree",
     "EvalUnit",
     "build_units",
+    "run_seeded_unit",
     "EvalStats",
     "TopDownResult",
     "evaluate_topdown",

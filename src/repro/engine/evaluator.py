@@ -31,14 +31,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
-from ..datalog.analysis import analyze, stratify
 from ..datalog.ast import Atom, Program
 from ..datalog.database import Database
 from ..datalog.errors import EvaluationError, ValidationError
 from ..datalog.terms import Constant, Variable
 from .faults import FaultInjector, FaultPlan, SchedulerFault
 from .governor import BudgetExceeded, Governor, ResourceExhausted
-from .plan import CompiledRule, compile_rule
+from .prepared import PreparedProgram, prepare
 from .provenance import DerivationTree, derivation_tree
 from .scheduler import run_monolithic, run_scheduled
 from .statistics import EvalStats
@@ -175,6 +174,10 @@ class EvalResult:
     #: whether the run recorded provenance (``record_provenance=True``);
     #: distinguishes "no justification recorded" from "not derived"
     provenance_recorded: bool = False
+    #: the (cached) compiled artifacts this run evaluated — reusable by
+    #: an :class:`~repro.engine.incremental.IncrementalSession` or a
+    #: repeat evaluation over the same program and size profile
+    prepared: Optional[PreparedProgram] = None
 
     @property
     def is_partial(self) -> bool:
@@ -294,39 +297,31 @@ def evaluate(
     for pred in program.idb_predicates():
         db.ensure(pred, arities[pred])
 
-    # Seed fact rules (ground, body-less); the paper keeps facts in the
-    # EDB but the parser tolerates them in programs.  Rules compile
-    # against the input relation sizes: derived relations are empty (or
-    # nearly so) at this point but typically grow past the base
-    # relations, so the selectivity heuristic treats them as larger
-    # than any stored relation when breaking join-order ties.
+    # Rules compile against the input relation sizes: derived relations
+    # are empty (or nearly so) at this point but typically grow past
+    # the base relations, so the selectivity heuristic treats them as
+    # larger than any stored relation when breaking join-order ties.
+    # The compiled artifacts (plans, analysis, stratification) come
+    # from the prepared-program cache: a hit skips planning and codegen
+    # entirely and is bit-identical to a fresh compile because the size
+    # profile is part of the cache key.
     sizes = db.relation_sizes()
     largest = max(sizes.values(), default=0)
     for pred in program.idb_predicates():
         sizes[pred] = max(sizes.get(pred, 0), largest + 1)
-    compiled: list[CompiledRule] = []
-    for i, r in enumerate(program.rules):
-        if not r.body:
-            if not r.head.is_ground():
-                raise ValidationError(f"unsafe fact rule: {r}")
-            if db.ensure(r.head.predicate, r.head.arity).add(r.head.as_fact()):
-                stats.facts_derived += 1
-            continue
-        compiled.append(compile_rule(r, i, sizes=sizes))
+    prepared = prepare(program, sizes)
+
+    # Seed fact rules (ground, body-less); the paper keeps facts in the
+    # EDB but the parser tolerates them in programs.
+    for pred, row in prepared.fact_rules:
+        if db.ensure(pred, len(row)).add(row):
+            stats.facts_derived += 1
 
     # Stratified evaluation (section-6 extension): rules run stratum by
     # stratum, so a negated literal always refers to a fully computed
     # lower-stratum relation.  Pure Datalog yields a single stratum.
-    info = analyze(program)
-    if program.has_negation():
-        layers = stratify(program, info)
-        index = {p: i for i, layer in enumerate(layers) for p in layer}
-        grouped: dict[int, list[CompiledRule]] = {}
-        for cr in compiled:
-            grouped.setdefault(index[cr.rule.head.predicate], []).append(cr)
-        strata = [grouped.get(i, []) for i in range(len(layers))]
-    else:
-        strata = [compiled] if compiled else []
+    info = prepared.info
+    strata = prepared.strata
 
     def finalize() -> None:
         for pred in program.idb_predicates():
@@ -355,6 +350,7 @@ def evaluate(
             return EvalResult(
                 program, db, stats, provenance,
                 provenance_recorded=opts.record_provenance,
+                prepared=prepared,
             )
         raise ResourceExhausted(
             exc.reason, stats=stats, unit=exc.unit, stratum=exc.stratum
@@ -364,4 +360,5 @@ def evaluate(
     return EvalResult(
         program, db, stats, provenance,
         provenance_recorded=opts.record_provenance,
+        prepared=prepared,
     )

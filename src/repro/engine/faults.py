@@ -31,6 +31,9 @@ Fault kinds and the degradation they exercise:
 ``scheduler``
     SCC scheduling fails before any unit runs — the evaluator falls
     back to the monolithic per-stratum loop (**SCC → monolithic**).
+    During incremental maintenance the same fault instead fails the
+    seeded delta scheduler, and the batch recomputes the affected cone
+    from its initial rows (**incremental → recompute**).
 ``worker-death:N``
     The N-th scheduled evaluation unit (0-based, scheduling order)
     dies once with :class:`WorkerDeath`; the scheduler re-runs the

@@ -1,0 +1,842 @@
+"""Incremental view maintenance: fixpoints that survive EDB updates.
+
+Every other entry point in this package recomputes the least fixpoint
+from scratch.  An :class:`IncrementalSession` instead *materializes* a
+program's fixpoint once and then maintains it under
+:meth:`~IncrementalSession.insert` / :meth:`~IncrementalSession.retract`
+batches, keeping the database state bit-identical to what a from-scratch
+re-evaluation over the updated EDB would produce — that equivalence is
+the contract the differential IVM oracle (``tests/oracle/test_incremental.py``)
+enforces across the whole engine flag matrix.
+
+**Insertions** are the easy direction, because semi-naive deltas are
+already the engine's native currency: new rows are inserted into their
+relations and then handed to
+:func:`~repro.engine.scheduler.run_seeded_unit` as the seed frontier of
+each affected evaluation unit, walking the SCC condensation in
+topological order.  Units whose input predicates did not change are
+skipped entirely (``units_reactivated`` vs ``units_scheduled``).
+
+**Retractions** follow the DRed delete–rederive discipline
+(Gupta–Mumick–Subrahmanian):
+
+1. *Overdelete* — compute the closure of facts with **some** derivation
+   touching a deleted fact, by firing the existing delta plans with the
+   deletions as the frontier against the **unmodified** database
+   (removing rows eagerly would under-estimate when two body facts of
+   one derivation die together).  Facts asserted by program fact rules
+   or still present as initial IDB facts are *protected*: their
+   derivations are unconditional, so they never enter the closure.
+2. *Delete* — discard the closure (copy-on-write: shared EDB relations
+   are privatized first, so sibling sessions over the same database
+   never observe the retraction).
+3. *Rederive* — walk the affected units in topological order.  For a
+   **non-recursive** unit each overdeleted fact is decided by a single
+   goal-directed support probe (head bound, body matched against the
+   fully maintained lower relations) — the counting-style check, no
+   fixpoint needed.  A **recursive** unit additionally reseeds its
+   component-local fixpoint with the directly rederived facts, which
+   re-derives exactly the overdeleted facts that remain reachable.
+
+Updates whose affected cone crosses a **negative** dependency edge are
+non-monotone: the affected units are reset to their initial rows and
+recomputed from scratch in topological order (still skipping everything
+outside the cone).  The same recompute path doubles as a degradation
+rung (``incremental->recompute``) when a scheduler fault is injected.
+
+The **governor** applies per update batch: each ``insert``/``retract``
+constructs a fresh :class:`~repro.engine.governor.Governor` from the
+session options, so deadlines and budgets bound each batch, not the
+session lifetime.  A tripped batch leaves the database in a *sound
+lower bound* state (documented per phase in the code below), flags the
+session via :attr:`IncrementalSession.is_partial`, and either raises
+:class:`~repro.engine.governor.ResourceExhausted` or returns partial
+stats per ``on_limit``; :meth:`~IncrementalSession.refresh` restores
+exactness by re-running the fixpoint from the current state.
+
+Repeat sessions skip parse/analysis/planning/codegen through the
+prepared-program cache (:mod:`repro.engine.prepared`), keyed by the
+canonical program text and size signature.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import replace
+from typing import Iterable, Optional, Union
+
+from ..datalog.analysis import condensation, negative_dependencies
+from ..datalog.ast import Atom, Program
+from ..datalog.database import Database
+from ..datalog.errors import ArityError, ValidationError
+from ..datalog.terms import Constant, Variable
+from .evaluator import EngineOptions, EvalResult, answers_of, evaluate
+from .faults import FaultInjector, WorkerDeath
+from .governor import BudgetExceeded, Governor, ResourceExhausted
+from .plan import CompiledRule, DeltaIndex, match_plan, rebind_plans
+from .provenance import Justification
+from .scheduler import (
+    EvalUnit,
+    _builtins_hold,
+    _negatives_hold,
+    _run_unit,
+    build_units,
+    run_monolithic,
+    run_scheduled,
+    run_seeded_unit,
+)
+from .statistics import EvalStats
+
+__all__ = ["IncrementalSession", "Facts"]
+
+#: accepted update-batch shapes: ``{"pred": [(1, 2), ...]}``, an
+#: iterable of ground :class:`Atom` facts, or ``("pred", row)`` pairs
+Facts = Union[
+    Mapping[str, Iterable[tuple]],
+    Iterable[Union[Atom, tuple]],
+]
+
+_EMPTY: frozenset = frozenset()
+
+
+def _head_binding(cr: CompiledRule, row: tuple) -> Optional[dict]:
+    """Unify a rule head with a concrete row (the goal-directed entry
+    of the rederivation probe); None on a constant or repeated-variable
+    mismatch."""
+    subst: dict = {}
+    for arg, value in zip(cr.rule.head.args, row):
+        if isinstance(arg, Constant):
+            if arg.value != value:
+                return None
+        else:
+            bound = subst.get(arg, _EMPTY)
+            if bound is _EMPTY:
+                subst[arg] = value
+            elif bound != value:
+                return None
+    return subst
+
+
+class IncrementalSession:
+    """A materialized fixpoint maintained under insert/retract batches.
+
+    >>> from repro.datalog import parse, Database
+    >>> from repro.engine.incremental import IncrementalSession
+    >>> program = parse('''
+    ...     tc(X, Y) :- edge(X, Y).
+    ...     tc(X, Y) :- edge(X, Z), tc(Z, Y).
+    ...     ?- tc(1, Y).
+    ... ''')
+    >>> db = Database.from_dict({"edge": [(1, 2), (2, 3)]})
+    >>> session = IncrementalSession(program, db)
+    >>> sorted(session.answers())
+    [(2,), (3,)]
+    >>> _ = session.insert({"edge": [(3, 4)]})
+    >>> sorted(session.answers())
+    [(2,), (3,), (4,)]
+    >>> _ = session.retract({"edge": [(2, 3)]})
+    >>> sorted(session.answers())
+    [(2,)]
+
+    The input database is never mutated: base relations are shared by
+    reference until the session first writes one, at which point it is
+    privatized (copy-on-write) — two sessions over one EDB stay fully
+    independent.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        edb: Database,
+        options: Optional[EngineOptions] = None,
+    ):
+        opts = options or EngineOptions()
+        result = evaluate(program, edb, opts)
+        self.program = program
+        self.options = opts
+        self.prepared = result.prepared
+        self.db = result.db
+        self.provenance = result.provenance
+        #: cumulative counters across the session (init + every batch)
+        self.stats = result.stats
+        #: counters of the most recent operation (init, batch, refresh)
+        self.last_stats = result.stats
+        self._idb = program.idb_predicates()
+        self._arities = dict(self.prepared.arities)
+        #: base relations still shared by reference with the caller's
+        #: EDB — privatized (copied) before the session's first write
+        self._shared = {
+            p
+            for p in edb.predicates()
+            if self.db.relation(p) is edb.relation(p)
+        }
+        #: given (retractable) facts of derived predicates: the initial
+        #: IDB rows of the input database plus rows inserted into IDB
+        #: predicates later — the uniform-equivalence input convention
+        self._initial: dict[str, set] = {
+            p: set(edb.rows(p)) for p in self._idb if edb.rows(p)
+        }
+        #: rows asserted by body-less program rules, per predicate;
+        #: program-mandated, hence never retractable
+        self._fact_rows: dict[str, frozenset] = {}
+        grouped: dict[str, set] = {}
+        for pred, row in self.prepared.fact_rules:
+            grouped.setdefault(pred, set()).add(row)
+        self._fact_rows = {p: frozenset(rows) for p, rows in grouped.items()}
+        self._dirty = result.is_partial
+
+        # The maintenance schedule: every evaluation unit of every
+        # stratum, flattened in global topological order (stratum, then
+        # condensation depth, then SCC index).  Maintenance always
+        # walks units — ``use_scc`` only selects the *initial*
+        # materialization engine — because unit granularity is what
+        # lets unaffected components be skipped.
+        info = self.prepared.info
+        edges = condensation(info)
+        component_of = {p: i for i, scc in enumerate(info.sccs) for p in scc}
+        self._units: list[EvalUnit] = []
+        for stratum_rules in self.prepared.strata:
+            if stratum_rules:
+                self._units.extend(
+                    build_units(stratum_rules, info, edges, component_of)
+                )
+        #: per unit: the predicates its rule bodies read (the seed set)
+        self._unit_inputs = {
+            id(unit): frozenset(
+                atom.predicate
+                for cr in unit.rules
+                for atom in cr.relational_body
+            )
+            for unit in self._units
+        }
+        #: reverse dependency graph, for affected-cone computation
+        self._rev: dict[str, set] = {}
+        for head, deps in info.graph.items():
+            for dep in deps:
+                self._rev.setdefault(dep, set()).add(head)
+        self._neg_edges = negative_dependencies(program)
+        #: per compiled rule: the goal-directed probe (head-rebound
+        #: plans + the head's variable tuple when it is all distinct
+        #: variables), built lazily on the first retraction hitting it
+        self._goal_probe: dict[int, tuple] = {}
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def is_partial(self) -> bool:
+        """True iff a governed batch stopped early: the state is a
+        sound lower bound until :meth:`refresh` completes."""
+        return self._dirty
+
+    def query(self, predicate: Union[str, Atom, None] = None) -> frozenset:
+        """Current answers: for a predicate name, its rows; for a query
+        atom, its selected bindings; default, the program query's
+        answers."""
+        if predicate is None:
+            q = self.program.query
+            if q is None:
+                raise ValidationError(
+                    "program has no query and none was supplied"
+                )
+            return answers_of(self.db, q)
+        if isinstance(predicate, Atom):
+            return answers_of(self.db, predicate)
+        return self.db.rows(predicate)
+
+    def answers(self, query: Optional[Atom] = None) -> frozenset:
+        return self.query(query if query is not None else None)
+
+    def facts(self, predicate: str) -> frozenset:
+        return self.db.rows(predicate)
+
+    def result(self) -> EvalResult:
+        """A snapshot :class:`~repro.engine.evaluator.EvalResult` over
+        the session's live database (not a copy)."""
+        return EvalResult(
+            self.program,
+            self.db,
+            self.stats,
+            self.provenance,
+            provenance_recorded=self.options.record_provenance,
+            prepared=self.prepared,
+        )
+
+    # -- updates ------------------------------------------------------------
+
+    def insert(self, facts: Facts) -> EvalStats:
+        """Apply a batch of new base facts and propagate their
+        consequences; returns the batch's counters."""
+        return self._update(self._normalize(facts), {})
+
+    def retract(self, facts: Facts) -> EvalStats:
+        """Remove a batch of base facts and every derived fact that no
+        longer has a derivation; returns the batch's counters."""
+        return self._update({}, self._normalize(facts))
+
+    def refresh(self) -> EvalStats:
+        """Re-run the fixpoint from the current state, restoring
+        exactness after a partial (governed) batch."""
+        opts = self.options
+        stats = EvalStats()
+        builds_before = self.db.index_builds()
+        governor = Governor(opts)
+        try:
+            if opts.use_scc:
+                run_scheduled(
+                    self.prepared.strata, self.prepared.info, self.db,
+                    stats, self.provenance, opts, governor,
+                )
+            else:
+                run_monolithic(
+                    self.prepared.strata, self.db, stats,
+                    self.provenance, opts, governor,
+                )
+        except BudgetExceeded as exc:
+            self._finalize(stats, builds_before)
+            self._dirty = True
+            if opts.on_limit == "partial":
+                stats.aborted_reason = exc.reason
+                self._absorb(stats)
+                return stats
+            self._absorb(stats)
+            raise ResourceExhausted(
+                exc.reason, stats=stats, unit=exc.unit, stratum=exc.stratum
+            ) from None
+        self._dirty = False
+        self._finalize(stats, builds_before)
+        self._absorb(stats)
+        return stats
+
+    # -- update machinery ---------------------------------------------------
+
+    def _normalize(self, facts: Facts) -> dict[str, set]:
+        out: dict[str, set] = {}
+
+        def put(pred: str, row) -> None:
+            row = tuple(row)
+            known = self._arities.get(pred)
+            if known is None:
+                rel = self.db.relation(pred)
+                known = rel.arity if rel is not None else None
+            if known is not None and len(row) != known:
+                raise ArityError(
+                    f"row of length {len(row)} for predicate {pred!r} "
+                    f"of arity {known}"
+                )
+            out.setdefault(pred, set()).add(row)
+
+        if isinstance(facts, Mapping):
+            for pred, rows in facts.items():
+                for row in rows:
+                    put(pred, row)
+        else:
+            for item in facts:
+                if isinstance(item, Atom):
+                    put(item.predicate, item.as_fact())
+                else:
+                    pred, row = item
+                    put(pred, row)
+        return out
+
+    def _update(self, additions: dict, deletions: dict) -> EvalStats:
+        opts = self.options
+        stats = EvalStats()
+        stats.incremental_updates = 1
+        builds_before = self.db.index_builds()
+        # Per-batch governor and injector: deadlines/budgets bound this
+        # batch, and one-shot faults fire fresh each batch.
+        injector = (
+            FaultInjector(opts.fault_plan)
+            if opts.fault_plan is not None and opts.fault_plan.any()
+            else None
+        )
+        governor = Governor(opts, injector)
+        force_recompute = False
+        if injector is not None:
+            if injector.index_build_fails():
+                injector.record(stats, "index->scan")
+                opts = replace(opts, use_indexes=False)
+            if injector.scheduler_fails():
+                # incremental->recompute rung: seeded maintenance
+                # "failed", so the affected cone is recomputed from its
+                # initial rows — same state, more work
+                injector.record(stats, "incremental->recompute")
+                force_recompute = True
+        try:
+            if deletions:
+                self._retract_batch(
+                    deletions, stats, opts, governor, injector,
+                    force_recompute,
+                )
+            if additions:
+                self._insert_batch(
+                    additions, stats, opts, governor, injector,
+                    force_recompute,
+                )
+        except BudgetExceeded as exc:
+            # Every trip handler below leaves the database a *sound
+            # lower bound* of the updated fixpoint; refresh() restores
+            # exactness.
+            self._finalize(stats, builds_before)
+            self._dirty = True
+            if opts.on_limit == "partial":
+                stats.aborted_reason = exc.reason
+                self._absorb(stats)
+                return stats
+            self._absorb(stats)
+            raise ResourceExhausted(
+                exc.reason, stats=stats, unit=exc.unit, stratum=exc.stratum
+            ) from None
+        self._finalize(stats, builds_before)
+        self._absorb(stats)
+        return stats
+
+    def _finalize(self, stats: EvalStats, builds_before: int) -> None:
+        for pred in self._idb:
+            rel = self.db.relation(pred)
+            # len(rel), not len(rows()): rows() snapshots a frozenset
+            # copy, O(|relation|) per batch for a counter
+            stats.fact_counts[pred] = len(rel) if rel is not None else 0
+        # privatized copies restart their build counters, so the
+        # session-wide total can shrink mid-batch; clamp at zero
+        stats.index_builds += max(0, self.db.index_builds() - builds_before)
+
+    def _absorb(self, batch: EvalStats) -> None:
+        self.last_stats = batch
+        self.stats.merge(batch)
+        # cumulative fact counts are a snapshot, not a sum
+        self.stats.fact_counts = dict(batch.fact_counts)
+        self.stats.aborted_reason = batch.aborted_reason
+
+    def _merge_fragment(
+        self, stats: EvalStats, unit: EvalUnit, frag: EvalStats, fprov: dict
+    ) -> None:
+        stats.unit_rounds[unit.label] = (
+            stats.unit_rounds.get(unit.label, 0) + frag.iterations
+        )
+        stats.merge(frag)
+        self.provenance.update(fprov)
+
+    def _privatize(self, pred: str) -> None:
+        if pred in self._shared:
+            self.db.privatize(pred)
+            self._shared.discard(pred)
+
+    def _protected(self, pred: str) -> frozenset:
+        """Rows of *pred* with an unconditional derivation: program
+        fact rules plus (still-)initial given facts."""
+        initial = self._initial.get(pred)
+        facts = self._fact_rows.get(pred, _EMPTY)
+        if not initial:
+            return facts
+        return facts | frozenset(initial)
+
+    def _affected_idb(self, changed: Iterable[str]) -> frozenset[str]:
+        """Derived predicates whose value may depend on *changed*."""
+        seen: set[str] = set()
+        stack = list(changed)
+        while stack:
+            pred = stack.pop()
+            if pred in seen:
+                continue
+            seen.add(pred)
+            stack.extend(self._rev.get(pred, ()))
+        return frozenset(p for p in seen if p in self._idb)
+
+    def _crosses_negation(
+        self, affected: frozenset[str], changed: Iterable[str]
+    ) -> bool:
+        """True iff propagation through the affected cone would pass a
+        rule whose *negated* predicate may itself change — seeded
+        deltas and delete–rederive are only exact for monotone cones."""
+        dirty = affected | set(changed)
+        return any(
+            head in affected and neg in dirty
+            for head, neg in self._neg_edges
+        )
+
+    # -- insertion ----------------------------------------------------------
+
+    def _insert_batch(
+        self, additions, stats, opts, governor, injector, force_recompute
+    ) -> None:
+        changed: dict[str, set] = {}
+        for pred in sorted(additions):
+            rows = additions[pred]
+            self._privatize(pred)
+            arity = self._arities.get(pred)
+            if arity is None:
+                arity = len(next(iter(rows)))
+            rel = self.db.ensure(pred, arity)
+            fresh = {row for row in rows if rel.add(row)}
+            if not fresh:
+                continue
+            stats.facts_derived += len(fresh)
+            if pred in self._idb:
+                self._initial.setdefault(pred, set()).update(fresh)
+            changed[pred] = set(fresh)
+        if not changed:
+            return
+        affected = self._affected_idb(changed)
+        if force_recompute or self._crosses_negation(affected, changed):
+            self._recompute_affected(affected, stats, opts, governor, injector)
+            return
+        # Monotone seeded propagation: walk units in topological order,
+        # reseeding only those whose inputs changed.  A governor trip
+        # mid-walk is already sound — bottom-up insertion only adds
+        # true consequences.
+        ordinal = 0
+        for unit in self._units:
+            stats.units_scheduled += 1
+            inputs = self._unit_inputs[id(unit)]
+            seeds = {p: changed[p] for p in inputs if changed.get(p)}
+            if not seeds:
+                continue
+            stats.units_reactivated += 1
+            guard = governor.guard(unit=unit.label, ordinal=ordinal)
+            ordinal += 1
+            out = self._run_seeded(unit, seeds, stats, opts, guard, injector)
+            for p, rows in out.items():
+                if rows:
+                    changed.setdefault(p, set()).update(rows)
+
+    def _run_seeded(
+        self, unit, seeds, stats, opts, guard, injector
+    ) -> dict[str, set]:
+        out: dict[str, set] = {}
+        frag = EvalStats()
+        fprov: dict = {}
+        try:
+            try:
+                run_seeded_unit(
+                    unit, self.db, frag, fprov, opts, guard, seeds, out
+                )
+            except WorkerDeath:
+                # parallel->sequential rung: retry inline, reseeding
+                # with everything already added so the interrupted
+                # pass completes (re-derivations are duplicates)
+                injector.record(frag, "parallel->sequential", unit.label)
+                retry = {p: set(rows) for p, rows in seeds.items()}
+                for p, rows in out.items():
+                    retry.setdefault(p, set()).update(rows)
+                run_seeded_unit(
+                    unit, self.db, frag, fprov, opts, guard, retry, out
+                )
+        finally:
+            guard.finish(frag)
+            self._merge_fragment(stats, unit, frag, fprov)
+        return out
+
+    # -- retraction ---------------------------------------------------------
+
+    def _retract_batch(
+        self, deletions, stats, opts, governor, injector, force_recompute
+    ) -> None:
+        present: dict[str, set] = {}
+        for pred in sorted(deletions):
+            rows = deletions[pred]
+            initial = self._initial.get(pred)
+            if initial:
+                initial.difference_update(rows)
+            rel = self.db.relation(pred)
+            if rel is None:
+                continue
+            protected = self._fact_rows.get(pred, _EMPTY)
+            hits = {r for r in rows if r in rel and r not in protected}
+            if hits:
+                present[pred] = hits
+        if not present:
+            return
+        affected = self._affected_idb(present)
+        if force_recompute or self._crosses_negation(affected, present):
+            self._discard_rows(present, stats)
+            self._recompute_affected(affected, stats, opts, governor, injector)
+            return
+        closure_guard = governor.guard()
+        try:
+            deleted = self._overdelete_closure(
+                present, affected, stats, opts, closure_guard
+            )
+        except BudgetExceeded:
+            # The closure ran against the unmodified database, so
+            # nothing is applied yet; applying the base deletions and
+            # resetting the whole affected cone to its initial rows is
+            # the cheapest sound lower bound.
+            self._discard_rows(present, stats)
+            self._reset_affected(affected, stats)
+            raise
+        self._discard_rows(deleted, stats)
+        # A trip inside rederivation needs no cleanup: every fact not
+        # in the closure keeps a derivation avoiding the deleted facts,
+        # and rederived facts were re-added with a live support probe —
+        # the state is a sound lower bound wherever the walk stopped.
+        self._rederive(deleted, stats, opts, governor, injector)
+
+    def _overdelete_closure(
+        self, base_deleted, affected, stats, opts, guard
+    ) -> dict[str, set]:
+        """The DRed overestimate: every fact with *some* derivation
+        using a deleted fact, computed with the delta plans against the
+        **unmodified** database (protected facts excluded).  Returns
+        the base deletions merged with the derived closure."""
+        deleted = {p: set(rows) for p, rows in base_deleted.items()}
+        for unit in self._units:
+            if not (unit.heads & affected):
+                continue
+            inputs = self._unit_inputs[id(unit)]
+            pending = {
+                p: set(deleted[p]) for p in inputs if deleted.get(p)
+            }
+            protected: dict[str, frozenset] = {}
+            while pending:
+                guard.checkpoint(stats)
+                previous = {
+                    p: DeltaIndex(rows) for p, rows in pending.items()
+                }
+                new: dict[str, set] = {}
+                for cr in unit.rules:
+                    guard.checkpoint(stats)
+                    head_pred = cr.rule.head.predicate
+                    rel = self.db.relation(head_pred)
+                    if rel is None:
+                        continue
+                    # hoisted out of the candidate loop: all four
+                    # membership sets are fixed for the round (deleted
+                    # only grows between rounds)
+                    dead = deleted.get(head_pred, _EMPTY)
+                    found = new.setdefault(head_pred, set())
+                    prot = protected.get(head_pred)
+                    if prot is None:
+                        prot = self._protected(head_pred)
+                        protected[head_pred] = prot
+                    for i, literal in enumerate(cr.relational_body):
+                        frontier = previous.get(literal.predicate)
+                        if frontier is None:
+                            continue
+                        for subst, _rows in match_plan(
+                            cr.delta_plans[i], self.db, stats,
+                            delta_rows=frontier,
+                            use_indexes=opts.use_indexes,
+                        ):
+                            if cr.builtins and not _builtins_hold(cr, subst):
+                                continue
+                            if cr.rule.negative and not _negatives_hold(
+                                cr, self.db, subst, stats
+                            ):
+                                continue
+                            head = cr.head_values(subst)
+                            if (
+                                head not in rel
+                                or head in dead
+                                or head in found
+                                or head in prot
+                            ):
+                                continue
+                            found.add(head)
+                if not any(new.values()):
+                    break
+                for p, rows in new.items():
+                    if rows:
+                        deleted.setdefault(p, set()).update(rows)
+                # only deletions of the unit's own inputs (its members,
+                # for a recursive unit) can cascade further here
+                pending = {
+                    p: rows for p, rows in new.items() if p in inputs and rows
+                }
+        return deleted
+
+    def _discard_rows(self, rows_by_pred, stats) -> None:
+        for pred in sorted(rows_by_pred):
+            rows = rows_by_pred[pred]
+            if not rows:
+                continue
+            self._privatize(pred)
+            rel = self.db.relation(pred)
+            if rel is None:
+                continue
+            for row in rows:
+                if rel.discard(row):
+                    stats.facts_retracted += 1
+                    self.provenance.pop((pred, row), None)
+
+    def _rederive(self, deleted, stats, opts, governor, injector) -> None:
+        ordinal = 0
+        for unit in self._units:
+            stats.units_scheduled += 1
+            local = {
+                p: deleted[p] for p in unit.heads if deleted.get(p)
+            }
+            if not local:
+                continue
+            stats.units_reactivated += 1
+            guard = governor.guard(unit=unit.label, ordinal=ordinal)
+            ordinal += 1
+            readded: dict[str, set] = {}
+            frag = EvalStats()
+            fprov: dict = {}
+            try:
+                try:
+                    self._rederive_unit(
+                        unit, local, frag, fprov, opts, guard, readded
+                    )
+                except WorkerDeath:
+                    injector.record(frag, "parallel->sequential", unit.label)
+                    self._rederive_unit(
+                        unit, local, frag, fprov, opts, guard, readded
+                    )
+            finally:
+                guard.finish(frag)
+                self._merge_fragment(stats, unit, frag, fprov)
+
+    def _goal_probe_for(self, cr: CompiledRule) -> tuple:
+        """The cached goal-directed probe of one rule: its join plans
+        rebound for the head variables (so pre-bound positions answer
+        as index probes, not the scans the forward patterns would take)
+        plus, for the common all-distinct-variables head, the variable
+        tuple that turns head binding into a single ``dict(zip(...))``.
+        """
+        cached = self._goal_probe.get(id(cr))
+        if cached is None:
+            head_args = cr.rule.head.args
+            bound = frozenset(
+                a for a in head_args if isinstance(a, Variable)
+            )
+            plans = rebind_plans(cr.plan, bound)
+            fast = (
+                tuple(head_args)
+                if len(bound) == len(head_args)
+                else None
+            )
+            cached = (plans, fast)
+            self._goal_probe[id(cr)] = cached
+        return cached
+
+    def _rederive_unit(
+        self, unit, deleted_local, frag, fprov, opts, guard, readded
+    ) -> None:
+        """Decide each overdeleted fact of one unit: a goal-directed
+        support probe per fact (the counting-style check), then — for
+        recursive units — a reseeded component fixpoint that re-derives
+        whatever the directly supported facts still reach."""
+        guard.unit_boundary(frag)
+        rules_by_head: dict[str, list] = {}
+        for cr in unit.rules:
+            rules_by_head.setdefault(cr.rule.head.predicate, []).append(
+                (cr, *self._goal_probe_for(cr))
+            )
+        for pred in sorted(deleted_local):
+            rel = self.db.relation(pred)
+            if rel is None:
+                continue
+            for row in sorted(deleted_local[pred], key=repr):
+                if row in rel:
+                    continue  # re-added by an earlier probe or a retry
+                guard.checkpoint(frag)
+                for cr, plans, head_vars in rules_by_head.get(pred, ()):
+                    if head_vars is not None:
+                        subst0 = dict(zip(head_vars, row))
+                    else:
+                        subst0 = _head_binding(cr, row)
+                        if subst0 is None:
+                            continue
+                    support = None
+                    for subst, body_rows in match_plan(
+                        plans, self.db, frag, subst=subst0,
+                        use_indexes=opts.use_indexes,
+                    ):
+                        if cr.builtins and not _builtins_hold(cr, subst):
+                            continue
+                        if cr.rule.negative and not _negatives_hold(
+                            cr, self.db, subst, frag
+                        ):
+                            continue
+                        support = body_rows
+                        break
+                    if support is None:
+                        continue
+                    rel.add(row)
+                    frag.facts_derived += 1
+                    frag.facts_rederived += 1
+                    if opts.record_provenance:
+                        body = tuple(
+                            (atom.predicate, r)
+                            for atom, r in zip(cr.relational_body, support)
+                        )
+                        fprov[(pred, row)] = Justification(cr.rule_index, body)
+                    readded.setdefault(pred, set()).add(row)
+                    break
+        if unit.recursive:
+            seeds = {
+                p: set(rows)
+                for p, rows in readded.items()
+                if p in unit.members and rows
+            }
+            if seeds:
+                before = frag.facts_derived
+                run_seeded_unit(
+                    unit, self.db, frag, fprov, opts, guard, seeds, readded
+                )
+                frag.facts_rederived += frag.facts_derived - before
+
+    # -- the non-monotone / degraded path -----------------------------------
+
+    def _reset_unit_rows(self, unit) -> None:
+        """Reset the unit's head relations to their unconditional rows
+        (initial IDB facts plus program fact rules)."""
+        for pred in sorted(unit.heads):
+            self._privatize(pred)
+            rel = self.db.relation(pred)
+            if rel is None:
+                continue
+            keep = self._protected(pred)
+            for row in [r for r in rel.rows() if r not in keep]:
+                rel.discard(row)
+            for row in keep:
+                rel.add(row)
+
+    def _reset_affected(self, affected, stats) -> None:
+        preds = {
+            p
+            for unit in self._units
+            if unit.heads & affected
+            for p in unit.heads
+        }
+        if not preds:
+            return
+        for key in [k for k in self.provenance if k[0] in preds]:
+            del self.provenance[key]
+        for unit in self._units:
+            if unit.heads & affected:
+                self._reset_unit_rows(unit)
+
+    def _recompute_affected(
+        self, affected, stats, opts, governor, injector
+    ) -> None:
+        """Reset every affected unit to its initial rows, then re-run
+        them in topological order.  All resets happen up front, so a
+        governor trip mid-walk leaves untouched initial state (a sound
+        lower bound) in every not-yet-recomputed unit."""
+        targets = [u for u in self._units if u.heads & affected]
+        if not targets:
+            return
+        preds = {p for u in targets for p in u.heads}
+        for key in [k for k in self.provenance if k[0] in preds]:
+            del self.provenance[key]
+        for unit in targets:
+            self._reset_unit_rows(unit)
+        ordinal = 0
+        for unit in self._units:
+            stats.units_scheduled += 1
+            if not (unit.heads & affected):
+                continue
+            stats.units_reactivated += 1
+            guard = governor.guard(unit=unit.label, ordinal=ordinal)
+            ordinal += 1
+            frag, fprov, failure = _run_unit(unit, self.db, opts, guard)
+            self._merge_fragment(stats, unit, frag, fprov)
+            if isinstance(failure, WorkerDeath):
+                injector.record(stats, "parallel->sequential", unit.label)
+                frag, fprov, failure = _run_unit(unit, self.db, opts, guard)
+                self._merge_fragment(stats, unit, frag, fprov)
+            if failure is not None:
+                raise failure

@@ -147,6 +147,7 @@ def kernel_source(
             emit_tail(depth, loops=n)
             return
         plan = plans[i]
+        looped = True  # cleared by the loop-free membership fast path
         if delta and i == 0:
             out.w(depth, "stats.join_probes += 1")
             if not plan.bound_positions:
@@ -160,6 +161,26 @@ def kernel_source(
             body = depth + 1
             out.w(body, "stats.rows_scanned += 1")
             emit_binds(plan, i, body)
+        elif use_indexes and plan.bound_positions and not plan.free_positions:
+            # fully bound: the key *is* the candidate row, so the row
+            # set answers the probe directly — the mirror of
+            # match_plan's fast path, keeping kernel counters
+            # bit-identical (no index build, at most one row).  Emitted
+            # as a guarded block, NOT an early exit: a miss must fall
+            # through to an enclosing existential cut exactly the way
+            # an exhausted loop would, or the cut would be skipped and
+            # further (identically doomed) candidates probed.
+            key = _tuple_display(
+                [term(plan.atom.args[p]) for p in plan.bound_positions]
+            )
+            out.w(depth, f"if rel{i} is not None:")
+            out.w(depth + 1, "stats.join_probes += 1")
+            out.w(depth + 1, "stats.index_probes += 1")
+            out.w(depth + 1, f"row{i} = {key}")
+            out.w(depth + 1, f"if row{i} in rel{i}:")
+            body = depth + 2
+            out.w(body, "stats.rows_scanned += 1")
+            looped = False
         else:
             out.w(depth, f"if rel{i} is None: {fail(i)}")
             out.w(depth, "stats.join_probes += 1")
@@ -191,7 +212,7 @@ def kernel_source(
                     out.w(body, f"if row{i}[{p}] != {term(plan.atom.args[p])}: continue")
                 emit_binds(plan, i, body)
         emit_step(i + 1, body)
-        if plan.existential:
+        if plan.existential and looped:
             out.w(body, "break  # existential cut: one witness is enough")
 
     def emit_binds(plan: LiteralPlan, i: int, depth: int) -> None:

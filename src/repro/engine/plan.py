@@ -33,7 +33,14 @@ from ..datalog.database import Database
 from ..datalog.terms import Constant, Variable
 from .statistics import EvalStats
 
-__all__ = ["CompiledRule", "DeltaIndex", "LiteralPlan", "order_body", "compile_rule"]
+__all__ = [
+    "CompiledRule",
+    "DeltaIndex",
+    "LiteralPlan",
+    "order_body",
+    "compile_rule",
+    "rebind_plans",
+]
 
 
 @dataclass(frozen=True)
@@ -75,8 +82,13 @@ class LiteralPlan:
         """Extend *subst* with the free positions of *row*.
 
         Returns the extended substitution (a new dict) or ``None`` if a
-        repeated free variable is inconsistent.
+        repeated free variable is inconsistent.  A fully-bound literal
+        binds nothing, so the input substitution is returned as-is
+        (substitutions are never mutated downstream, so sharing is
+        safe and skips a dict copy per candidate row).
         """
+        if not self.free_positions:
+            return subst
         out = dict(subst)
         for p, var in self.free_positions:
             value = row[p]
@@ -283,6 +295,46 @@ def compile_rule(
     return CompiledRule(rule, rule_index, relational, builtins, plan, delta_plans)
 
 
+def _rebind(plan: LiteralPlan, bound: Mapping) -> LiteralPlan:
+    """*plan* with every free position whose variable is in *bound*
+    promoted to a bound (index-keyed) position.
+
+    Join plans are compiled knowing only which variables earlier body
+    literals bind; a goal-directed caller of :func:`match_plan` (the
+    rederivation support probe) additionally pre-binds the head
+    variables through ``subst``.  Promoting those positions turns what
+    the compile-time pattern thought was an unbound first literal —
+    a full scan — into an index probe on the pre-bound values.  The
+    initial substitution only ever grows, so the promotion is sound at
+    every plan step.
+    """
+    extra = tuple(p for p, var in plan.free_positions if var in bound)
+    if not extra:
+        return plan
+    return replace(
+        plan,
+        bound_positions=tuple(sorted(plan.bound_positions + extra)),
+        free_positions=tuple(
+            (p, var) for p, var in plan.free_positions if var not in bound
+        ),
+    )
+
+
+def rebind_plans(
+    plans: Sequence[LiteralPlan], bound: "Mapping | frozenset"
+) -> tuple[LiteralPlan, ...]:
+    """Rebind every plan step for a known pre-bound variable set.
+
+    Goal-directed callers that probe the same plan for many different
+    bindings of one fixed variable set (the rederivation support probe:
+    the head variables, one probe per overdeleted row) should rebind
+    once through this helper and reuse the result — :func:`match_plan`
+    still accepts raw plans plus ``subst`` and rebinds on the fly, but
+    that costs a plan reconstruction per call.
+    """
+    return tuple(_rebind(plan, bound) for plan in plans)
+
+
 def match_plan(
     plans: Sequence[LiteralPlan],
     db: Database,
@@ -299,12 +351,19 @@ def match_plan(
     any iterable of rows), the first plan step is matched against
     exactly those rows instead of the stored relation — this is the
     semi-naive delta position, answered through the frontier's lazy
-    position groupings.  With ``use_indexes=False``
+    position groupings.  A non-empty *subst* pre-binds variables before
+    the first step; the binding patterns are rebound accordingly so
+    pre-bound positions are answered by index probes rather than the
+    scans the compile-time patterns would fall back to.  With
+    ``use_indexes=False``
     every probe of a stored relation enumerates the whole relation and
     filters (the pre-index seed behaviour, kept as the ``--no-index``
     baseline); ``stats.rows_scanned`` then counts every enumerated row,
     matching or not.
     """
+    start = dict(subst) if subst else {}
+    if start:
+        plans = [_rebind(plan, start) for plan in plans]
     n = len(plans)
     body_rows: list = [None] * n
     delta = (
@@ -336,7 +395,17 @@ def match_plan(
                 candidates = list(rel)
             elif use_indexes:
                 stats.index_probes += 1
-                candidates = rel.lookup(plan.bound_positions, plan.key_for(subst))
+                if not plan.free_positions:
+                    # fully bound: the key *is* the candidate row, so
+                    # the row set answers the probe directly — building
+                    # a whole-relation index to return at most one row
+                    # would cost O(|rel|) for nothing
+                    key = plan.key_for(subst)
+                    candidates = [key] if key in rel else _NO_ROWS
+                else:
+                    candidates = rel.lookup(
+                        plan.bound_positions, plan.key_for(subst)
+                    )
             else:
                 stats.scan_fallbacks += 1
                 candidates = _scan_filter(plan, rel, plan.key_for(subst), stats)
@@ -353,7 +422,6 @@ def match_plan(
                 # work (and identical head facts) per extra row
                 return
 
-    start = dict(subst) if subst else {}
     for final_subst, rows in step(0, start):
         ordered: list = [None] * n
         for body_index, row in rows:

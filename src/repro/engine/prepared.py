@@ -1,0 +1,176 @@
+"""Prepared programs: analyze/stratify/compile once, evaluate many times.
+
+Every ``evaluate()`` call used to re-derive the same artifacts from the
+program text: the dependency analysis, the stratification, and one
+:class:`~repro.engine.plan.CompiledRule` (with its naive and delta join
+plans) per rule.  For one-shot queries that cost is noise; for an
+always-on :class:`~repro.engine.incremental.IncrementalSession` — or a
+benchmark loop re-running the same program shape — it is pure overhead
+on every invocation.
+
+:func:`prepare` bundles those artifacts into an immutable
+:class:`PreparedProgram` and caches it in a bounded process-wide LRU,
+keyed by the **canonical program text** (``str(program)`` — rules in
+order, negation rendered, query included, and for adorned programs the
+adornment is part of every predicate name) together with the **size
+signature** the join-order heuristic consumed.  Two calls with the same
+key are guaranteed byte-identical plans, so a cache hit changes no
+counter of any evaluation — it only skips the planning work.  The size
+signature is part of the key precisely because plans *depend* on it:
+caching across different relation-size profiles would silently change
+join orders mid-differential-test.
+
+Compiled kernels need no second cache here: they are memoized on each
+``CompiledRule`` and globally by generated source text
+(:mod:`repro.engine.kernel`), so sharing the compiled rules across
+evaluations shares their kernels too — a prepared-cache hit skips
+parse-product analysis, planning *and* codegen.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from ..datalog.analysis import DependencyInfo, analyze, stratify
+from ..datalog.ast import Program
+from ..datalog.errors import ValidationError
+from .plan import CompiledRule, compile_rule
+
+__all__ = [
+    "PreparedProgram",
+    "prepare",
+    "prepared_cache_stats",
+    "clear_prepared_cache",
+]
+
+
+@dataclass(frozen=True)
+class PreparedProgram:
+    """The reusable evaluation artifacts of one program + size profile.
+
+    Everything here is immutable or treated as such; one instance may
+    be shared by concurrent evaluations (compiled-rule kernel
+    memoization is the only interior mutation and is idempotent).
+    """
+
+    program: Program
+    #: the cache key this instance was prepared under
+    key: tuple
+    #: ground facts asserted by body-less program rules, as
+    #: ``(predicate, row)`` pairs in rule order — seeded into the
+    #: working database before the fixpoint (and after any reset)
+    fact_rules: tuple[tuple[str, tuple], ...]
+    #: compiled non-fact rules, in program order
+    compiled: tuple[CompiledRule, ...]
+    info: DependencyInfo
+    #: compiled rules grouped by stratum, bottom-up (a single stratum
+    #: for negation-free programs)
+    strata: tuple[tuple[CompiledRule, ...], ...]
+    #: head arities of every predicate occurring in the program
+    arities: Mapping[str, int]
+
+    def idb_predicates(self) -> frozenset[str]:
+        return self.info.idb
+
+
+def program_key(program: Program, sizes: Optional[Mapping[str, int]]) -> tuple:
+    """The cache key: canonical text plus the exact size signature."""
+    size_sig = tuple(sorted(sizes.items())) if sizes else ()
+    return (str(program), size_sig)
+
+
+_CACHE: "OrderedDict[tuple, PreparedProgram]" = OrderedDict()
+_CACHE_LOCK = threading.Lock()
+_CACHE_MAX = 256
+_HITS = 0
+_MISSES = 0
+
+
+def _build(program: Program, sizes: Optional[Mapping[str, int]], key: tuple) -> PreparedProgram:
+    fact_rules: list[tuple[str, tuple]] = []
+    compiled: list[CompiledRule] = []
+    for i, r in enumerate(program.rules):
+        if not r.body:
+            if not r.head.is_ground():
+                raise ValidationError(f"unsafe fact rule: {r}")
+            fact_rules.append((r.head.predicate, r.head.as_fact()))
+            continue
+        compiled.append(compile_rule(r, i, sizes=sizes))
+    info = analyze(program)
+    if program.has_negation():
+        layers = stratify(program, info)
+        index = {p: i for i, layer in enumerate(layers) for p in layer}
+        grouped: dict[int, list[CompiledRule]] = {}
+        for cr in compiled:
+            grouped.setdefault(index[cr.rule.head.predicate], []).append(cr)
+        strata = tuple(
+            tuple(grouped.get(i, [])) for i in range(len(layers))
+        )
+    else:
+        strata = (tuple(compiled),) if compiled else ()
+    return PreparedProgram(
+        program=program,
+        key=key,
+        fact_rules=tuple(fact_rules),
+        compiled=tuple(compiled),
+        info=info,
+        strata=strata,
+        arities=dict(program.arities()),
+    )
+
+
+def prepare(
+    program: Program,
+    sizes: Optional[Mapping[str, int]] = None,
+    *,
+    use_cache: bool = True,
+) -> PreparedProgram:
+    """Return the (possibly cached) :class:`PreparedProgram`.
+
+    *sizes* is the relation-size profile fed to the join-order
+    heuristic, exactly as :func:`~repro.engine.evaluator.evaluate`
+    computes it (IDB predicates bumped past the largest stored
+    relation).  A hit returns plans identical to a fresh compile under
+    the same profile, so cached and uncached evaluations are
+    bit-identical in every counter.
+    """
+    key = program_key(program, sizes)
+    global _HITS, _MISSES
+    if use_cache:
+        with _CACHE_LOCK:
+            cached = _CACHE.get(key)
+            if cached is not None:
+                _CACHE.move_to_end(key)
+                _HITS += 1
+                return cached
+    prepared = _build(program, sizes, key)
+    if use_cache:
+        with _CACHE_LOCK:
+            if key in _CACHE:
+                # a concurrent prepare won the race; keep its instance
+                # so kernel memoization accumulates on one object
+                _HITS += 1
+                return _CACHE[key]
+            _MISSES += 1
+            _CACHE[key] = prepared
+            while len(_CACHE) > _CACHE_MAX:
+                _CACHE.popitem(last=False)
+    return prepared
+
+
+def prepared_cache_stats() -> dict:
+    """Cache occupancy and hit/miss counters (for tests and benches)."""
+    with _CACHE_LOCK:
+        return {"entries": len(_CACHE), "hits": _HITS, "misses": _MISSES}
+
+
+def clear_prepared_cache() -> None:
+    """Drop every cached preparation and reset the counters."""
+    global _HITS, _MISSES
+    with _CACHE_LOCK:
+        _CACHE.clear()
+        _HITS = 0
+        _MISSES = 0

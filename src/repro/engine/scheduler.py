@@ -69,7 +69,13 @@ from .plan import CompiledRule, DeltaIndex, match_plan
 from .provenance import Justification
 from .statistics import EvalStats
 
-__all__ = ["EvalUnit", "build_units", "run_monolithic", "run_scheduled"]
+__all__ = [
+    "EvalUnit",
+    "build_units",
+    "run_monolithic",
+    "run_scheduled",
+    "run_seeded_unit",
+]
 
 
 # ---------------------------------------------------------------------------
@@ -360,6 +366,95 @@ def _single_pass(active, db, stats, provenance, opts, retire, guard) -> None:
             retire.retire_all(active)
             return
         _fire(cr, None, db, stats, provenance, opts, added, guard=guard)
+
+
+def run_seeded_unit(
+    unit: "EvalUnit",
+    db: Database,
+    stats: EvalStats,
+    provenance: dict,
+    opts,
+    guard: Guard,
+    seeds: dict[str, set],
+    out: Optional[dict[str, set]] = None,
+) -> dict[str, set]:
+    """Resume one evaluation unit's fixpoint from a seed frontier.
+
+    This is incremental maintenance's entry point into the semi-naive
+    machinery (:mod:`repro.engine.incremental`): *seeds* maps
+    predicates to rows that are **already inserted** into *db* but have
+    not yet been propagated through this unit's rules.  The first round
+    fires every delta specialization whose literal predicate is seeded
+    (full relations already contain the new rows, so old–new and
+    new–new combinations are both covered); subsequent rounds are the
+    unit's ordinary member-delta fixpoint.  A non-recursive unit simply
+    has nothing to do after the seeded round.
+
+    Every row added to a head relation is folded into *out* (created if
+    None) and returned — the caller's frontier for downstream units.
+    Passing the same *out* on a retry after a recoverable fault, with
+    the already-added rows merged back into *seeds*, makes the retry
+    complete exactly the interrupted pass (re-derivations are
+    duplicates, and rows added before the fault re-enter the frontier).
+    """
+    if out is None:
+        out = {}
+    retire = _Retirer(opts.cut_predicates, stats, unit_heads=unit.heads)
+    guard.unit_boundary(stats)
+    active = retire.filter(list(unit.rules), db)
+    if not active:
+        return out
+
+    changed = frozenset(p for p, rows in seeds.items() if rows) | unit.members
+    seeded_spec = [(cr, cr.delta_literals(changed)) for cr in active]
+    member_spec = {
+        id(cr): cr.delta_literals(unit.members) for cr in active
+    }
+
+    guard.iteration(stats)
+    previous = {p: DeltaIndex(rows) for p, rows in seeds.items() if rows}
+    delta: dict[str, set] = {}
+    for cr, delta_literals in seeded_spec:
+        for i, predicate in delta_literals:
+            frontier = previous.get(predicate)
+            if frontier is None:
+                continue
+            _fire(
+                cr, i, db, stats, provenance, opts, delta,
+                delta=frontier, guard=guard,
+            )
+    for p, rows in delta.items():
+        if rows:
+            out.setdefault(p, set()).update(rows)
+    active = retire.filter(active, db)
+    alive = set(map(id, active))
+
+    while any(delta.values()):
+        if retire.unit_satisfied(db):
+            stats.unit_early_exits += 1
+            break
+        guard.iteration(stats, delta)
+        previous = {p: DeltaIndex(rows) for p, rows in delta.items() if rows}
+        delta = {}
+        for cr in active:
+            if id(cr) not in alive:
+                continue
+            for i, predicate in member_spec[id(cr)]:
+                frontier = previous.get(predicate)
+                if frontier is None:
+                    continue
+                _fire(
+                    cr, i, db, stats, provenance, opts, delta,
+                    delta=frontier, guard=guard,
+                )
+        for p, rows in delta.items():
+            if rows:
+                out.setdefault(p, set()).update(rows)
+        active = retire.filter(active, db)
+        alive = set(map(id, active))
+    if retire.unit_satisfied(db):
+        retire.retire_all(unit.rules)
+    return out
 
 
 # ---------------------------------------------------------------------------

@@ -66,6 +66,25 @@ class EvalStats:
     unit_rounds: dict[str, int] = field(default_factory=dict)
     #: Facts per derived predicate at fixpoint.
     fact_counts: dict[str, int] = field(default_factory=dict)
+    #: Incremental update batches applied by an
+    #: :class:`~repro.engine.incremental.IncrementalSession` (each
+    #: ``insert``/``retract`` call counts once; 0 for plain ``evaluate``
+    #: runs).
+    incremental_updates: int = 0
+    #: Facts removed from relations by incremental retraction: the
+    #: requested base deletions plus every derived fact the DRed
+    #: overdeletion pass removed (rederived facts are counted removed
+    #: here and re-added under ``facts_rederived``).
+    facts_retracted: int = 0
+    #: Facts re-added by the delete–rederive pass: overdeleted facts
+    #: that turned out to still have a derivation from the surviving
+    #: database (also counted in ``facts_derived``).
+    facts_rederived: int = 0
+    #: Evaluation units actually re-run by incremental maintenance — a
+    #: subset of the units examined (``units_scheduled``): units whose
+    #: inputs did not change are skipped, which is the point of
+    #: maintaining through the SCC condensation.
+    units_reactivated: int = 0
     #: Governor checkpoints performed (0 unless a limit was set or a
     #: fault armed — the governor is free when idle).
     governor_checks: int = 0
@@ -74,7 +93,10 @@ class EvalStats:
     faults_injected: int = 0
     #: Degradation-ladder rungs taken, keyed by rung
     #: (``"kernel->interpreter"``, ``"index->scan"``,
-    #: ``"scc->monolithic"``, ``"parallel->sequential"``).
+    #: ``"scc->monolithic"``, ``"parallel->sequential"``, and — during
+    #: incremental maintenance — ``"incremental->recompute"``, the rung
+    #: that recomputes the affected cone from its initial rows when the
+    #: seeded maintenance scheduler faults).
     degradations: dict[str, int] = field(default_factory=dict)
     #: Why the run stopped early under ``on_limit="partial"`` (the
     #: governor's trip reason, e.g. ``"deadline"``); None when the run
@@ -117,6 +139,10 @@ class EvalStats:
         self.units_scheduled += other.units_scheduled
         self.units_parallel += other.units_parallel
         self.unit_early_exits += other.unit_early_exits
+        self.incremental_updates += other.incremental_updates
+        self.facts_retracted += other.facts_retracted
+        self.facts_rederived += other.facts_rederived
+        self.units_reactivated += other.units_reactivated
         self.governor_checks += other.governor_checks
         self.faults_injected += other.faults_injected
         for k, v in other.unit_rounds.items():
@@ -152,6 +178,10 @@ class EvalStats:
             "units_scheduled": self.units_scheduled,
             "units_parallel": self.units_parallel,
             "unit_early_exits": self.unit_early_exits,
+            "incremental_updates": self.incremental_updates,
+            "facts_retracted": self.facts_retracted,
+            "facts_rederived": self.facts_rederived,
+            "units_reactivated": self.units_reactivated,
             "unit_rounds": dict(self.unit_rounds),
             "fact_counts": dict(self.fact_counts),
             "governor_checks": self.governor_checks,
@@ -179,6 +209,13 @@ class EvalStats:
             f"kernels={self.kernel_launches} units={self.units_scheduled} "
             f"unit_exits={self.unit_early_exits}"
         )
+        if self.incremental_updates:
+            line += (
+                f" updates={self.incremental_updates} "
+                f"retracted={self.facts_retracted} "
+                f"rederived={self.facts_rederived} "
+                f"reactivated={self.units_reactivated}"
+            )
         if self.faults_injected:
             rungs = ",".join(sorted(self.degradations))
             line += f" faults={self.faults_injected} degraded=[{rungs}]"

@@ -6,6 +6,8 @@ payload of :class:`ResourceExhausted`, and the guarantee that a
 governor with limits *set but not hit* changes no engine counter.
 """
 
+from dataclasses import replace
+
 import pytest
 
 from repro.datalog import Database, parse
@@ -13,6 +15,7 @@ from repro.datalog.errors import EvaluationError, ValidationError
 from repro.engine import (
     EngineOptions,
     FaultPlan,
+    IncrementalSession,
     ResourceExhausted,
     evaluate,
 )
@@ -218,6 +221,128 @@ class TestIterationBounds:
         program, db = tc
         with pytest.raises(EvaluationError):
             evaluate(program, db, EngineOptions(max_iterations=1))
+
+
+class TestIncrementalBatchGovernance:
+    """Budgets and deadlines apply **per update batch** of an
+    :class:`IncrementalSession`: an ungoverned init followed by a tight
+    batch trips inside that batch, leaves a flagged sound lower bound
+    with exact ``partial`` subset semantics, and ``refresh()`` restores
+    exactness.  (``session.options`` governs subsequent batches, so
+    tests swap limits in after the generous init.)"""
+
+    def _updated_reference(self, extra=(20, 21)):
+        return evaluate(
+            parse(TC), Database.from_dict({"edge": chain(20) + [extra]})
+        )
+
+    def test_zero_deadline_trips_the_batch_not_the_session(self, tc):
+        program, db = tc
+        session = IncrementalSession(program, db)
+        session.options = replace(session.options, deadline_s=0.0)
+        with pytest.raises(ResourceExhausted) as exc:
+            session.insert({"edge": [(20, 21)]})
+        assert exc.value.reason == "deadline"
+        assert session.is_partial
+        # the failed batch was still absorbed into the session counters
+        assert session.stats.incremental_updates == 1
+
+    def test_partial_insert_is_subset_and_refresh_restores(self, tc):
+        program, db = tc
+        full = self._updated_reference()
+        session = IncrementalSession(program, db)
+        session.options = replace(
+            session.options, deadline_s=0.0, on_limit="partial"
+        )
+        stats = session.insert({"edge": [(20, 21)]})
+        assert stats.aborted_reason == "deadline"
+        assert session.is_partial
+        assert session.answers() <= full.answers()
+        assert session.facts("tc") <= full.facts("tc")
+        session.options = replace(
+            session.options, deadline_s=None, on_limit="raise"
+        )
+        refreshed = session.refresh()
+        assert not session.is_partial
+        assert refreshed.aborted_reason is None
+        assert session.facts("tc") == full.facts("tc")
+        assert session.answers() == full.answers()
+
+    def test_partial_retraction_is_sound_and_refresh_restores(self, tc):
+        program, db = tc
+        session = IncrementalSession(program, db)
+        full = evaluate(
+            program,
+            Database.from_dict(
+                {"edge": [r for r in chain(20) if r != (10, 11)]}
+            ),
+        )
+        session.options = replace(
+            session.options, deadline_s=0.0, on_limit="partial"
+        )
+        stats = session.retract({"edge": [(10, 11)]})
+        assert stats.aborted_reason == "deadline"
+        assert session.is_partial
+        # exact partial-subset semantics: the base deletion is applied,
+        # and no stale derived fact survives
+        assert (10, 11) not in session.facts("edge")
+        assert session.facts("tc") <= full.facts("tc")
+        session.options = replace(
+            session.options, deadline_s=None, on_limit="raise"
+        )
+        session.refresh()
+        assert not session.is_partial
+        assert session.facts("tc") == full.facts("tc")
+
+    def test_max_facts_applies_per_batch(self, tc):
+        """The init derived hundreds of facts; a per-batch budget of 5
+        must not count them — it trips only on the batch's own work."""
+        program, db = tc
+        full = self._updated_reference()
+        session = IncrementalSession(program, db)
+        session.options = replace(
+            session.options, max_facts=5, on_limit="partial"
+        )
+        stats = session.insert({"edge": [(20, 21)]})
+        assert stats.aborted_reason == "max_facts"
+        assert session.facts("tc") <= full.facts("tc")
+        # a following batch gets a fresh budget: small enough work passes
+        tiny = session.retract({"edge": [(20, 21)]})
+        assert tiny is not None  # the session keeps serving
+
+    def test_max_delta_rows_applies_per_batch(self, tc):
+        program, db = tc
+        session = IncrementalSession(program, db)
+        session.options = replace(
+            session.options, max_delta_rows=2, on_limit="raise"
+        )
+        with pytest.raises(ResourceExhausted) as exc:
+            session.insert({"edge": [(20, 21), (21, 22), (22, 23)]})
+        assert exc.value.reason == "max_delta_rows"
+
+    def test_generous_batch_limits_are_invisible(self, tc):
+        """Mirror of test_budget_not_hit_is_invisible for maintenance:
+        unhit per-batch limits change no counter but governor_checks."""
+        program = parse(TC)
+
+        def run(**limits):
+            session = IncrementalSession(
+                program, Database.from_dict({"edge": chain(10)})
+            )
+            if limits:
+                session.options = replace(session.options, **limits)
+            session.insert({"edge": [(10, 11)]})
+            batch = session.retract({"edge": [(3, 4)]})
+            return session, batch
+
+        _, plain = run()
+        _, governed = run(
+            deadline_s=300.0, max_facts=10**9, max_delta_rows=10**9
+        )
+        a, b = plain.as_dict(), governed.as_dict()
+        assert a.pop("governor_checks") == 0
+        assert b.pop("governor_checks") > 0
+        assert a == b
 
 
 class TestOptionValidation:

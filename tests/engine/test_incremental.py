@@ -1,0 +1,279 @@
+"""Property tests for :class:`~repro.engine.incremental.IncrementalSession`.
+
+The differential oracle (tests/oracle/test_incremental.py) checks the
+big equivalence — incremental state == from-scratch state.  This module
+pins the *session-level* contracts that equivalence alone does not
+force: algebraic no-op laws (insert-then-retract, idempotent batches,
+batch order-insensitivity), the maintenance counters and their
+invariants (``units_reactivated <= units_scheduled``, unaffected units
+skipped), copy-on-write isolation between sessions sharing one EDB,
+bit-determinism of parallel-mode sessions under updates, and the
+prepared-program cache (hits skip planning without changing a single
+counter).
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.datalog import Database, parse
+from repro.datalog.errors import ArityError
+from repro.engine import (
+    EngineOptions,
+    IncrementalSession,
+    clear_prepared_cache,
+    evaluate,
+    prepared_cache_stats,
+)
+
+TC = """
+    tc(X, Y) :- edge(X, Y).
+    tc(X, Y) :- edge(X, Z), tc(Z, Y).
+    ?- tc(X, Y).
+"""
+
+SIBLINGS = """
+    tc1(X, Y) :- e1(X, Y).
+    tc1(X, Y) :- e1(X, Z), tc1(Z, Y).
+    tc2(X, Y) :- e2(X, Y).
+    tc2(X, Y) :- e2(X, Z), tc2(Z, Y).
+    q(X) :- tc1(X, Y), tc2(X, Y).
+    ?- q(X).
+"""
+
+
+def chain(n):
+    return [(i, i + 1) for i in range(n)]
+
+
+def snapshot(session, preds):
+    state = {p: session.facts(p) for p in preds}
+    state["__answers__"] = session.answers()
+    return state
+
+
+@pytest.fixture
+def tc_session():
+    return IncrementalSession(
+        parse(TC), Database.from_dict({"edge": chain(6)})
+    )
+
+
+class TestNoOpLaws:
+    def test_insert_then_retract_same_batch_is_noop(self, tc_session):
+        before = snapshot(tc_session, ["edge", "tc"])
+        batch = {"edge": [(10, 11), (11, 12), (2, 10)]}
+        tc_session.insert(batch)
+        tc_session.retract(batch)
+        assert snapshot(tc_session, ["edge", "tc"]) == before
+
+    def test_insert_of_present_rows_is_noop(self, tc_session):
+        before = snapshot(tc_session, ["edge", "tc"])
+        stats = tc_session.insert({"edge": [(0, 1), (1, 2)]})
+        assert snapshot(tc_session, ["edge", "tc"]) == before
+        assert stats.units_reactivated == 0  # nothing changed, no work
+
+    def test_retract_of_absent_rows_is_noop(self, tc_session):
+        before = snapshot(tc_session, ["edge", "tc"])
+        stats = tc_session.retract({"edge": [(40, 41)], "tc": [(40, 41)]})
+        assert snapshot(tc_session, ["edge", "tc"]) == before
+        assert stats.facts_retracted == 0
+
+    def test_batch_is_order_insensitive(self):
+        """One batch applied in any element order lands in one state —
+        updates are set-at-a-time, not row-at-a-time."""
+        rows = [("edge", (7, 8)), ("edge", (3, 7)), ("edge", (8, 0))]
+        states = []
+        for batch in (rows, list(reversed(rows))):
+            s = IncrementalSession(
+                parse(TC), Database.from_dict({"edge": chain(6)})
+            )
+            s.insert(batch)
+            s.retract([("edge", (1, 2)), ("edge", (8, 0))])
+            states.append(snapshot(s, ["edge", "tc"]))
+        assert states[0] == states[1]
+
+    def test_refresh_without_partial_is_noop(self, tc_session):
+        before = snapshot(tc_session, ["edge", "tc"])
+        tc_session.refresh()
+        assert not tc_session.is_partial
+        assert snapshot(tc_session, ["edge", "tc"]) == before
+
+    def test_arity_mismatch_rejected(self, tc_session):
+        with pytest.raises(ArityError):
+            tc_session.insert({"edge": [(1, 2, 3)]})
+        with pytest.raises(ArityError):
+            tc_session.retract({"tc": [(1,)]})
+
+
+class TestMaintenanceCounters:
+    def test_reactivated_never_exceeds_scheduled(self):
+        session = IncrementalSession(
+            parse(SIBLINGS),
+            Database.from_dict({"e1": chain(5), "e2": chain(5)}),
+        )
+        for batch in (
+            {"e1": [(5, 6)]},
+            {"e2": [(9, 10)]},
+            {"e1": [(0, 1)], "e2": [(1, 2)]},
+        ):
+            stats = session.insert(batch)
+            assert stats.units_reactivated <= stats.units_scheduled
+            stats = session.retract(batch)
+            assert stats.units_reactivated <= stats.units_scheduled
+        cumulative = session.stats
+        assert cumulative.units_reactivated <= cumulative.units_scheduled
+        assert cumulative.incremental_updates == 6
+
+    def test_unaffected_units_are_skipped(self):
+        """An insert touching only e1 must not re-run the tc2 unit:
+        three units exist (tc1, tc2, q), only tc1 and q react."""
+        session = IncrementalSession(
+            parse(SIBLINGS),
+            Database.from_dict({"e1": chain(5), "e2": chain(5)}),
+        )
+        stats = session.insert({"e1": [(5, 6)]})
+        assert stats.units_scheduled == 3
+        assert stats.units_reactivated == 2
+        assert "tc2" not in stats.unit_rounds
+
+    def test_rederivation_is_counted(self):
+        """Deleting edge(1,2) overdeletes tc(0,2) (derived through it)
+        but the shortcut edge(0,2) still supports it — DRed must bring
+        it back and say so."""
+        session = IncrementalSession(
+            parse(TC),
+            Database.from_dict({"edge": [(0, 1), (1, 2), (0, 2)]}),
+        )
+        stats = session.retract({"edge": [(1, 2)]})
+        assert (0, 2) in session.facts("tc")
+        assert stats.facts_rederived >= 1
+        assert stats.facts_retracted >= 2  # edge(1,2) and tc(1,2) at least
+        scratch = evaluate(
+            parse(TC), Database.from_dict({"edge": [(0, 1), (0, 2)]})
+        )
+        assert session.facts("tc") == scratch.facts("tc")
+
+    def test_tail_deletion_worst_case_stays_exact(self):
+        """DRed's worst case: deleting the *tail* edge of a right-linear
+        chain kills tc(*, n) one overdeletion round per hop — O(n)
+        rounds, no rederivation possible.  The batch may degrade toward
+        from-scratch cost but never past soundness."""
+        n = 12
+        session = IncrementalSession(
+            parse(TC), Database.from_dict({"edge": chain(n)})
+        )
+        stats = session.retract({"edge": [(n - 1, n)]})
+        # the whole last column dies: edge(n-1,n) plus tc(i,n) for all i
+        assert stats.facts_retracted == n + 1
+        assert stats.facts_rederived == 0
+        scratch = evaluate(
+            parse(TC), Database.from_dict({"edge": chain(n - 1)})
+        )
+        assert session.facts("tc") == scratch.facts("tc")
+
+
+class TestSharedEdbIsolation:
+    """The copy-on-write regression: sessions sharing one EDB must stay
+    independent, and the caller's database must never mutate."""
+
+    def test_two_sessions_on_one_edb_stay_independent(self):
+        edb = Database.from_dict({"edge": chain(6)})
+        baseline_edge = edb.rows("edge")
+        s1 = IncrementalSession(parse(TC), edb)
+        s2 = IncrementalSession(parse(TC), edb)
+        s1.insert({"edge": [(6, 7)]})
+        assert s2.facts("edge") == baseline_edge
+        assert (6, 7) not in s2.facts("tc").union(s2.facts("edge"))
+        s2.retract({"edge": [(0, 1)]})
+        assert (0, 1) in s1.facts("edge")  # s2's retraction is private
+        assert (0, 6) in s1.facts("tc")
+        assert (0, 1) not in s2.facts("edge")
+        assert edb.rows("edge") == baseline_edge  # caller's EDB untouched
+        # each session still equals its own from-scratch reference
+        ref1 = evaluate(parse(TC), Database.from_dict({"edge": chain(7)}))
+        assert s1.facts("tc") == ref1.facts("tc")
+        ref2 = evaluate(parse(TC), Database.from_dict({"edge": chain(6)[1:]}))
+        assert s2.facts("tc") == ref2.facts("tc")
+
+    def test_retraction_before_any_insert_privatizes(self):
+        """The dangerous direction: the first write being a *discard*
+        must copy the shared relation, not mutate it in place."""
+        edb = Database.from_dict({"edge": chain(4)})
+        session = IncrementalSession(parse(TC), edb)
+        session.retract({"edge": [(1, 2)]})
+        assert (1, 2) in edb.rows("edge")
+        assert (1, 2) not in session.facts("edge")
+
+
+class TestParallelDeterminism:
+    def test_parallel_sessions_bit_deterministic_under_updates(self):
+        """20 identical parallel-mode sessions through one update
+        script: identical facts and identical counters, bit for bit."""
+        program_text = SIBLINGS
+
+        def run():
+            session = IncrementalSession(
+                parse(program_text),
+                Database.from_dict({"e1": chain(6), "e2": chain(6)}),
+                EngineOptions(parallel=4),
+            )
+            session.insert({"e1": [(6, 7)], "e2": [(6, 7)]})
+            session.retract({"e1": [(2, 3)]})
+            session.insert({"e2": [(9, 2)]})
+            session.retract({"e2": [(0, 1)], "e1": [(6, 7)]})
+            return (
+                snapshot(session, ["e1", "e2", "tc1", "tc2", "q"]),
+                session.stats.as_dict(),
+            )
+
+        first_state, first_stats = run()
+        for _ in range(19):
+            state, stats = run()
+            assert state == first_state
+            assert stats == first_stats
+
+
+class TestPreparedCache:
+    def test_repeat_sessions_hit_the_cache(self):
+        clear_prepared_cache()
+        db = {"edge": chain(6)}
+        s1 = IncrementalSession(parse(TC), Database.from_dict(db))
+        after_first = prepared_cache_stats()
+        assert after_first["misses"] == 1
+        s2 = IncrementalSession(parse(TC), Database.from_dict(db))
+        after_second = prepared_cache_stats()
+        assert after_second["hits"] == after_first["hits"] + 1
+        assert after_second["misses"] == after_first["misses"]
+        assert after_second["entries"] == 1
+        # sharing the prepared program shares the compiled rules
+        assert s2.prepared is s1.prepared
+
+    def test_cache_hit_changes_no_counter(self):
+        """A hit skips planning work only: the evaluation itself is
+        bit-identical to the cold-cache run."""
+        clear_prepared_cache()
+        db = {"edge": chain(6)}
+        cold = IncrementalSession(parse(TC), Database.from_dict(db))
+        warm = IncrementalSession(parse(TC), Database.from_dict(db))
+        assert warm.answers() == cold.answers()
+        assert warm.stats.as_dict() == cold.stats.as_dict()
+
+    def test_size_profile_is_part_of_the_key(self):
+        """Plans depend on the relation-size profile, so a different
+        EDB shape must miss rather than reuse stale join orders."""
+        clear_prepared_cache()
+        IncrementalSession(parse(TC), Database.from_dict({"edge": chain(6)}))
+        IncrementalSession(parse(TC), Database.from_dict({"edge": chain(30)}))
+        stats = prepared_cache_stats()
+        assert stats["misses"] == 2
+        assert stats["entries"] == 2
+
+    def test_per_batch_options_can_be_swapped(self, tc_session):
+        """session.options governs *subsequent* batches — swapping in a
+        tighter budget mid-session applies per batch (used heavily by
+        the governor tests)."""
+        tc_session.options = replace(tc_session.options, max_facts=10**9)
+        stats = tc_session.insert({"edge": [(6, 7)]})
+        assert stats.governor_checks > 0
+        assert not tc_session.is_partial

@@ -26,6 +26,7 @@ import pytest
 from repro.datalog.errors import EvaluationError
 from repro.engine import (
     FaultPlan,
+    IncrementalSession,
     InjectedUnitError,
     ResourceExhausted,
     evaluate,
@@ -169,6 +170,128 @@ def test_parallel_faulted_runs_are_exact(workload_name):
         result = evaluate(program, db, opts)
         assert result.answers() == oracle
         assert not result.is_partial
+
+
+def _maintenance_batches(program):
+    """A fixed insert + retract pair over the program's first EDB
+    predicate, sized to force real propagation."""
+    arities = program.arities()
+    pred = sorted(program.edb_predicates())[0]
+    arity = arities[pred]
+    ins = {pred: [tuple(50 + j for j in range(arity)),
+                  tuple(51 + j for j in range(arity))]}
+    rem = {pred: [tuple(50 + j for j in range(arity)),
+                  tuple(j for j in range(arity))]}
+    return pred, ins, rem
+
+
+def _scratch_facts(program, base_rows):
+    # the maintained state is engine-invariant, so the reference runs
+    # under default options regardless of the session's faulted ones
+    from repro.datalog import Database
+
+    db = Database()
+    arities = program.arities()
+    for pred in sorted(program.edb_predicates()):
+        db.ensure(pred, arities[pred]).update(base_rows.get(pred, ()))
+    result = evaluate(program, db, engine_options({}))
+    return {p: result.db.rows(p) for p in sorted(arities)}
+
+
+@pytest.mark.parametrize("workload_name", WORKLOADS)
+def test_worker_death_during_maintenance_degrades_and_stays_exact(
+    workload_name,
+):
+    """The ladder case: a worker dies inside a maintenance batch (the
+    per-batch injector re-arms every one-shot fault).  The batch must
+    retry on the parallel->sequential rung, record it, and land on the
+    exact maintained state."""
+    program, db = workload(workload_name)
+    plan = FaultPlan(worker_death=0)
+    opts = engine_options({"fault_plan": plan, "parallel": 4})
+    session = IncrementalSession(program, db, opts)
+    base = {p: set(db.rows(p)) for p in db.predicates()}
+    pred, ins, rem = _maintenance_batches(program)
+    stats = session.insert(ins)
+    base[pred].update(map(tuple, ins[pred]))
+    assert stats.faults_injected >= 1
+    assert "parallel->sequential" in stats.degradations
+    for p, want in _scratch_facts(program, base).items():
+        assert session.facts(p) == want, f"{workload_name}: {p} diverged"
+    stats = session.retract(rem)
+    base[pred].difference_update(map(tuple, rem[pred]))
+    assert stats.faults_injected >= 1
+    for p, want in _scratch_facts(program, base).items():
+        assert session.facts(p) == want, f"{workload_name}: {p} diverged"
+
+
+@pytest.mark.parametrize("workload_name", WORKLOADS)
+def test_scheduler_fault_during_maintenance_takes_recompute_rung(
+    workload_name,
+):
+    """A scheduler fault during maintenance degrades one rung further
+    down the ladder — incremental->recompute: the affected cone is
+    recomputed from scratch, same state, more work, and the rung is
+    recorded per batch."""
+    program, db = workload(workload_name)
+    opts = engine_options({"fault_plan": FaultPlan(scheduler=True)})
+    session = IncrementalSession(program, db, opts)
+    base = {p: set(db.rows(p)) for p in db.predicates()}
+    pred, ins, rem = _maintenance_batches(program)
+    for batch, apply in ((ins, set.update), (rem, set.difference_update)):
+        stats = (
+            session.insert(batch) if apply is set.update
+            else session.retract(batch)
+        )
+        apply(base[pred], map(tuple, batch[pred]))
+        assert stats.degradations.get("incremental->recompute") == 1
+        for p, want in _scratch_facts(program, base).items():
+            assert session.facts(p) == want, f"{workload_name}: {p} diverged"
+
+
+@pytest.mark.parametrize("workload_name", WORKLOADS)
+def test_faulted_governed_maintenance_keeps_the_triad(workload_name):
+    """Faults plus a tight per-batch budget: every batch outcome lands
+    in the triad — exact, flagged sound partial, or structured error —
+    never a silent divergence."""
+    program, db = workload(workload_name)
+    pred, ins, rem = _maintenance_batches(program)
+    for plan_name in ("worker-death-0", "scheduler", "stacked"):
+        opts = engine_options(
+            {
+                "fault_plan": FAULT_PLANS[plan_name],
+                "max_facts": 6,
+                "on_limit": "partial",
+            }
+        )
+        session = IncrementalSession(program, db, opts)
+        base = {p: set(db.rows(p)) for p in db.predicates()}
+        for batch, kind in ((ins, "insert"), (rem, "retract")):
+            stats = getattr(session, kind)(batch)
+            if kind == "insert":
+                base[pred].update(map(tuple, batch[pred]))
+            else:
+                base[pred].difference_update(map(tuple, batch[pred]))
+            want = _scratch_facts(program, base)
+            if stats.aborted_reason is None and not session.is_partial:
+                for p in want:
+                    assert session.facts(p) == want[p], (
+                        f"{workload_name}/{plan_name}: unflagged {p} diverged"
+                    )
+            else:
+                # flagged: sound lower bound, never a superset
+                for p in want:
+                    assert session.facts(p) <= want[p], (
+                        f"{workload_name}/{plan_name}: partial {p} overshoots"
+                    )
+        # recovery: refresh under generous options restores exactness
+        session.options = engine_options({})
+        session.refresh()
+        want = _scratch_facts(program, base)
+        for p in want:
+            assert session.facts(p) == want[p], (
+                f"{workload_name}/{plan_name}: refresh did not restore {p}"
+            )
 
 
 def test_bad_fault_spec_is_structured():
