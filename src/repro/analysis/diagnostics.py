@@ -155,6 +155,14 @@ CODES: dict[str, CodeInfo] = {
             "convention keeps all facts in the EDB",
             "section 1.1 (P = (Q, EDB, IDB))",
         ),
+        _info(
+            "DL016", "dictionary-overhead", Severity.WARNING,
+            "a boolean (zero-arity) query over a program whose constant "
+            "universe exceeds the dictionary threshold: the columnar "
+            "plane interns every constant to produce a one-bit answer, "
+            "so encoding overhead dominates on small EDBs",
+            "section 3.1 boolean rules; engine --no-columnar",
+        ),
     )
 }
 

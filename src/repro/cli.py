@@ -103,6 +103,7 @@ def _engine_kwargs(args) -> dict:
     engine = dict(
         use_indexes=not args.no_index,
         use_kernels=not args.no_kernel,
+        use_columnar=not args.no_columnar,
         use_scc=not args.no_scc,
         parallel=args.parallel,
         deadline_s=args.deadline,
@@ -420,6 +421,14 @@ def _add_engine_flags(p_run: argparse.ArgumentParser) -> None:
         "and work counters are identical, only wall-clock differs)",
     )
     p_run.add_argument(
+        "--no-columnar",
+        action="store_true",
+        help="evaluate rule bodies on the per-tuple kernels instead of "
+        "the dictionary-encoded batch kernels (the columnar plane's "
+        "differential oracle; answers and work counters are identical, "
+        "only wall-clock differs)",
+    )
+    p_run.add_argument(
         "--no-scc",
         action="store_true",
         help="run each stratum as one monolithic fixpoint instead of "
@@ -476,9 +485,9 @@ def _add_engine_flags(p_run: argparse.ArgumentParser) -> None:
         default=[],
         metavar="SPEC",
         help="deterministically inject a fault to exercise the "
-        "degradation ladder; repeatable.  SPEC is kernel-compile[:pred], "
-        "index-build, scheduler, worker-death:N, unit-error:N, or "
-        "slow-unit:N[:seconds]",
+        "degradation ladder; repeatable.  SPEC is columnar, "
+        "kernel-compile[:pred], index-build, scheduler, worker-death:N, "
+        "unit-error:N, or slow-unit:N[:seconds]",
     )
 
 

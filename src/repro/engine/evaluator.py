@@ -32,6 +32,7 @@ from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from ..datalog.ast import Atom, Program
+from ..datalog.columnar import global_dictionary
 from ..datalog.database import Database
 from ..datalog.errors import EvaluationError, ValidationError
 from ..datalog.terms import Constant, Variable
@@ -68,6 +69,17 @@ class EngineOptions:
         ``--no-kernel``) keeps the interpreter, which is retained as
         the differential oracle — answers, provenance, and every work
         counter except ``kernel_launches`` are bit-identical.
+    use_columnar
+        Evaluate rule bodies with dictionary-encoded **batch kernels**
+        where possible (default; requires ``use_kernels``): the
+        semi-naive frontier flows through each join plan as batches of
+        encoded contexts (:mod:`repro.engine.batch_kernel`) instead of
+        per-tuple loops, with the tuple kernels as the fallback rung
+        for order-dependent rule shapes, provenance-recording runs and
+        injected ``columnar`` faults.  ``False`` (the CLI's
+        ``--no-columnar``) pins every rule to the PR-2 tuple kernels —
+        the batch engine's differential oracle; answers, fact counts
+        and every engine-invariant counter are bit-identical.
     use_scc
         Schedule each stratum as a topologically ordered DAG of
         SCC evaluation units (default; see
@@ -124,6 +136,7 @@ class EngineOptions:
     cut_predicates: frozenset[str] = frozenset()
     use_indexes: bool = True
     use_kernels: bool = True
+    use_columnar: bool = True
     use_scc: bool = True
     parallel: int = 1
     record_provenance: bool = False
@@ -325,11 +338,17 @@ def evaluate(
 
     def finalize() -> None:
         for pred in program.idb_predicates():
-            stats.fact_counts[pred] = len(db.rows(pred))
+            # count via the relation, not a materialized snapshot:
+            # deferred packed rows stay packed until something reads
+            # actual tuples
+            rel = db.relation(pred)
+            stats.fact_counts[pred] = len(rel) if rel is not None else 0
         # Shared base relations may carry builds from earlier runs
         # (that is the point of sharing them); only builds during this
         # run count.
         stats.index_builds = db.index_builds() - builds_before
+        if opts.use_columnar and opts.use_kernels and not opts.record_provenance:
+            stats.dict_size = len(global_dictionary())
 
     try:
         if opts.use_scc:

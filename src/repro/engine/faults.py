@@ -21,10 +21,16 @@ site is reached.
 
 Fault kinds and the degradation they exercise:
 
+``columnar``
+    Batch-kernel selection "fails" for every rule — the engine must
+    fall back to the tuple kernels mid-run with identical answers
+    (**columnar → tuple-kernel**, the ladder's top rung).
 ``kernel-compile[:pred]``
     Kernel compilation "fails" for rules heading *pred* (every rule
     without the suffix) — the engine must fall back to the plan
-    interpreter per rule (**kernel → interpreter**).
+    interpreter per rule (**kernel → interpreter**).  Batch kernels
+    ride on the tuple-kernel machinery, so this fault disables both
+    tiers for the affected rules.
 ``index-build``
     Hash-index construction "fails" at engine start — the run degrades
     to full-scan probing (**index → scan**).
@@ -108,6 +114,8 @@ class FaultPlan:
 
     #: head predicates whose kernel compilation fails ("*" = every rule)
     kernel_compile: frozenset[str] = frozenset()
+    #: batch-kernel selection fails; every rule runs on tuple kernels
+    columnar: bool = False
     #: hash-index construction fails; the run degrades to full scans
     index_build: bool = False
     #: SCC scheduling fails at startup; fall back to the monolithic loop
@@ -130,6 +138,7 @@ class FaultPlan:
         """True iff at least one fault is armed."""
         return bool(
             self.kernel_compile
+            or self.columnar
             or self.index_build
             or self.scheduler
             or self.worker_death is not None
@@ -141,10 +150,10 @@ class FaultPlan:
 def parse_fault_specs(specs: Iterable[str]) -> FaultPlan:
     """Build a :class:`FaultPlan` from CLI ``--inject-fault`` specs.
 
-    Accepted forms: ``kernel-compile``, ``kernel-compile:PRED``,
-    ``index-build``, ``scheduler``, ``worker-death:N``,
-    ``unit-error:N``, ``slow-unit:N`` and ``slow-unit:N:SECONDS``.
-    Specs merge left to right into one plan.
+    Accepted forms: ``columnar``, ``kernel-compile``,
+    ``kernel-compile:PRED``, ``index-build``, ``scheduler``,
+    ``worker-death:N``, ``unit-error:N``, ``slow-unit:N`` and
+    ``slow-unit:N:SECONDS``.  Specs merge left to right into one plan.
     """
     plan = FaultPlan()
     for spec in specs:
@@ -155,6 +164,8 @@ def parse_fault_specs(specs: Iterable[str]) -> FaultPlan:
                     plan,
                     kernel_compile=plan.kernel_compile | {rest or "*"},
                 )
+            elif kind == "columnar" and not rest:
+                plan = replace(plan, columnar=True)
             elif kind == "index-build" and not rest:
                 plan = replace(plan, index_build=True)
             elif kind == "scheduler" and not rest:
@@ -172,9 +183,9 @@ def parse_fault_specs(specs: Iterable[str]) -> FaultPlan:
                 raise ValueError
         except ValueError:
             raise EvaluationError(
-                f"unknown fault spec {spec!r}; expected kernel-compile[:pred], "
-                f"index-build, scheduler, worker-death:N, unit-error:N, "
-                f"or slow-unit:N[:seconds]"
+                f"unknown fault spec {spec!r}; expected columnar, "
+                f"kernel-compile[:pred], index-build, scheduler, "
+                f"worker-death:N, unit-error:N, or slow-unit:N[:seconds]"
             ) from None
     return plan
 
@@ -207,6 +218,10 @@ class FaultInjector:
         """Should the kernel for a rule heading *head_predicate* fail?"""
         kc = self.plan.kernel_compile
         return bool(kc) and ("*" in kc or head_predicate in kc)
+
+    def columnar_fails(self) -> bool:
+        """Should batch-kernel selection fail (for every rule)?"""
+        return self.plan.columnar
 
     def index_build_fails(self) -> bool:
         return self.plan.index_build

@@ -35,6 +35,15 @@ the plan signature: predicate names, slot assignments, bound-position
 keys, inlined constants, and flags all appear in it), so repeated
 ``evaluate()`` calls over the same program shapes skip ``compile()``.
 Use :func:`kernel_source` to read the generated code when debugging.
+
+These per-row kernels are the middle rung of the engine ladder: when
+numpy is available the scheduler first tries the columnar batch
+kernels in :mod:`repro.engine.batch_kernel`, which run whole delta
+frontiers through vectorized array joins (``EngineOptions(
+use_columnar=False)`` / ``--no-columnar`` selects this tier directly);
+rules the batch plane declines — unsupported shapes, cold stores,
+injected faults — fall back here, and failures here fall back to the
+interpreter.
 """
 
 from __future__ import annotations

@@ -51,6 +51,22 @@ class EvalStats:
     #: the only counter allowed to differ between the kernel and
     #: interpreter paths — everything else is bit-identical.
     kernel_launches: int = 0
+    #: Batch-kernel pipeline stages executed with a non-empty context
+    #: batch (0 on the tuple-kernel and interpreter paths).  Like
+    #: ``kernel_launches`` this is engine-variant: it measures how much
+    #: work ran columnar, not how much join work was done.
+    batch_probes: int = 0
+    #: Contexts produced by batch-kernel stages (the columnar analogue
+    #: of per-tuple loop iterations; engine-variant).
+    batch_rows: int = 0
+    #: Size of the process-wide constant dictionary after the run
+    #: (merged with ``max``, not summed; 0 unless the columnar plane
+    #: was active).
+    dict_size: int = 0
+    #: Rules routed to the tuple kernel because no batch kernel could
+    #: be compiled (order-dependent shape) or a ``columnar`` fault was
+    #: injected (engine-variant).
+    columnar_fallbacks: int = 0
     #: Evaluation units run by the SCC scheduler (0 with ``--no-scc``).
     units_scheduled: int = 0
     #: Units that executed in a parallel batch (same condensation
@@ -136,6 +152,11 @@ class EvalStats:
         self.scan_fallbacks += other.scan_fallbacks
         self.rules_retired += other.rules_retired
         self.kernel_launches += other.kernel_launches
+        self.batch_probes += other.batch_probes
+        self.batch_rows += other.batch_rows
+        if other.dict_size > self.dict_size:
+            self.dict_size = other.dict_size
+        self.columnar_fallbacks += other.columnar_fallbacks
         self.units_scheduled += other.units_scheduled
         self.units_parallel += other.units_parallel
         self.unit_early_exits += other.unit_early_exits
@@ -175,6 +196,10 @@ class EvalStats:
             "scan_fallbacks": self.scan_fallbacks,
             "rules_retired": self.rules_retired,
             "kernel_launches": self.kernel_launches,
+            "batch_probes": self.batch_probes,
+            "batch_rows": self.batch_rows,
+            "dict_size": self.dict_size,
+            "columnar_fallbacks": self.columnar_fallbacks,
             "units_scheduled": self.units_scheduled,
             "units_parallel": self.units_parallel,
             "unit_early_exits": self.unit_early_exits,
@@ -193,6 +218,12 @@ class EvalStats:
         }
         if engine_invariant:
             del out["kernel_launches"]
+            # the columnar counters measure which path ran, not how
+            # much join work was done, so they differ by construction
+            del out["batch_probes"]
+            del out["batch_rows"]
+            del out["dict_size"]
+            del out["columnar_fallbacks"]
             # faulted degradations name the rung actually taken, which
             # legitimately differs between engine configurations
             del out["degradations"]
@@ -209,6 +240,11 @@ class EvalStats:
             f"kernels={self.kernel_launches} units={self.units_scheduled} "
             f"unit_exits={self.unit_early_exits}"
         )
+        if self.batch_probes or self.dict_size or self.columnar_fallbacks:
+            line += (
+                f" batches={self.batch_probes} batch_rows={self.batch_rows} "
+                f"dict={self.dict_size} col_fallbacks={self.columnar_fallbacks}"
+            )
         if self.incremental_updates:
             line += (
                 f" updates={self.incremental_updates} "

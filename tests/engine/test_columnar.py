@@ -1,0 +1,311 @@
+"""Unit tests for the columnar data plane: the constant dictionary,
+per-relation column stores, copy-on-write privatization, batch-kernel
+compile gates, and encoded bulk insertion.
+
+Full-run parity (batch kernels vs tuple kernels vs interpreter on
+every engine-invariant counter) lives in
+``tests/property/test_columnar_differential.py``; this file owns the
+substrate-level contracts those runs rest on.
+"""
+
+import pytest
+
+from repro.datalog.columnar import (
+    ColumnStore,
+    ConstantDictionary,
+    global_dictionary,
+    numpy_available,
+)
+from repro.datalog.database import Database, Relation
+from repro.datalog.parser import parse
+from repro.engine import EngineOptions, evaluate
+from repro.engine.batch_kernel import (
+    BatchKernelError,
+    batch_kernel_cache_stats,
+    batch_kernel_source,
+    batch_rule_kernel,
+    clear_batch_kernel_cache,
+)
+from repro.engine.plan import compile_rule
+
+
+# -- constant dictionary -----------------------------------------------------
+
+
+class TestConstantDictionary:
+    def test_intern_is_dense_and_stable(self):
+        d = ConstantDictionary()
+        ids = [d.intern(v) for v in ("a", "b", "a", 7, "b")]
+        assert ids == [0, 1, 0, 2, 1]
+        assert len(d) == 3
+
+    def test_round_trip(self):
+        d = ConstantDictionary()
+        row = ("x", 3, None, "x")
+        assert d.decode_row(d.intern_row(row)) == row
+
+    def test_equal_values_share_an_id(self):
+        # interning is keyed by ==/hash exactly like the raw row sets,
+        # so 1, 1.0 and True conflate in both representations
+        d = ConstantDictionary()
+        assert d.intern(1) == d.intern(1.0) == d.intern(True)
+
+    def test_clear_bumps_epoch_and_forgets(self):
+        d = ConstantDictionary()
+        d.intern("a")
+        epoch = d.epoch
+        d.clear()
+        assert d.epoch == epoch + 1
+        assert len(d) == 0
+        assert d.intern("b") == 0
+
+    def test_global_dictionary_is_shared(self):
+        assert global_dictionary() is global_dictionary()
+
+
+# -- column store ------------------------------------------------------------
+
+
+class TestColumnStore:
+    def test_columns_mirror_rows(self):
+        d = ConstantDictionary()
+        rows = [("a", "b"), ("b", "c")]
+        store = ColumnStore(d, 2, rows)
+        assert len(store) == 2
+        decoded = {
+            d.decode_row((store.columns[0][i], store.columns[1][i]))
+            for i in range(2)
+        }
+        assert decoded == set(rows)
+
+    def test_row_set_membership(self):
+        d = ConstantDictionary()
+        store = ColumnStore(d, 2, [("a", "b")])
+        assert d.intern_row(("a", "b")) in store.row_set
+        assert d.intern_row(("b", "a")) not in store.row_set
+
+    def test_encoded_index_mirrors_raw_posting_order(self):
+        rel = Relation(2, [(i % 3, i) for i in range(30)])
+        raw = rel.index_for((0,))
+        enc = rel.encoded_index((0,))
+        d = global_dictionary()
+        for key, posting in raw.items():
+            enc_posting = enc[d.intern(key[0])]
+            assert [d.decode_row(e) for e in enc_posting] == posting
+
+    def test_encoded_index_single_position_uses_scalar_keys(self):
+        rel = Relation(2, [("a", "b")])
+        enc = rel.encoded_index((0,))
+        assert all(isinstance(k, int) for k in enc)
+        both = rel.encoded_index((0, 1))
+        assert all(isinstance(k, tuple) for k in both)
+
+    def test_scan_rows_track_relation_order_and_version(self):
+        rel = Relation(1, [(i,) for i in range(5)])
+        d = global_dictionary()
+        first = rel.encoded_rows()
+        assert [d.decode_row(e) for e in first] == list(rel)
+        assert rel.encoded_rows() is first  # cached at this version
+        rel.add((99,))
+        second = rel.encoded_rows()
+        assert second is not first
+        assert [d.decode_row(e) for e in second] == list(rel)
+
+    def test_numpy_column_view(self):
+        if not numpy_available():
+            pytest.skip("numpy not available")
+        d = ConstantDictionary()
+        store = ColumnStore(d, 2, [("a", "b"), ("c", "b")])
+        col = store.numpy_column(1)
+        assert list(col) == list(store.columns[1])
+
+    def test_epoch_change_rebuilds_store(self):
+        rel = Relation(1, [("keep",)])
+        store = rel.column_store()
+        global_dictionary().clear()
+        rebuilt = rel.column_store()
+        assert rebuilt is not store
+        assert rebuilt.epoch == global_dictionary().epoch
+        assert global_dictionary().decode_row(next(iter(rebuilt.row_set))) == (
+            "keep",
+        )
+
+    def test_retraction_drops_store(self):
+        rel = Relation(1, [(1,), (2,)])
+        rel.column_store()
+        rel.discard((1,))
+        assert rel._store is None
+        assert {global_dictionary().decode_row(e) for e in rel.encoded_rows()} == {
+            (2,)
+        }
+
+
+# -- copy-on-write privatization (satellite: Relation.copy) -----------------
+
+
+class TestCopyOnWrite:
+    def test_copies_share_store_until_first_write(self):
+        rel = Relation(2, [("a", "b")])
+        store = rel.column_store()
+        twin = rel.copy()
+        assert twin._store is store and twin._store_shared
+        assert rel._store_shared
+
+    def test_write_to_copy_does_not_leak_into_original(self):
+        rel = Relation(2, [("a", "b")])
+        rel.column_store()
+        twin = rel.copy()
+        twin.add(("x", "y"))
+        assert ("x", "y") not in rel
+        enc = global_dictionary().intern_row(("x", "y"))
+        assert enc not in rel.column_store().row_set
+        assert enc in twin.column_store().row_set
+
+    def test_write_to_original_does_not_leak_into_copy(self):
+        rel = Relation(2, [("a", "b")])
+        rel.column_store()
+        twin = rel.copy()
+        rel.add(("x", "y"))
+        enc = global_dictionary().intern_row(("x", "y"))
+        assert enc not in twin.column_store().row_set
+
+    def test_evaluations_sharing_a_database_do_not_cross_talk(self):
+        """Two back-to-back columnar evaluations over one database: the
+        first run's derived facts (inserted into copy-on-write head
+        relations) must not surface in the second run's EDB image."""
+        program = parse(
+            """
+            tc(X,Y) :- edge(X,Y).
+            tc(X,Y) :- tc(X,Z), edge(Z,Y).
+            ?- tc(X,Y).
+            """
+        )
+        db = Database.from_dict({"edge": [(1, 2), (2, 3), (3, 4)]})
+        first = evaluate(program, db, EngineOptions())
+        assert db.relation("tc") is None or len(db.relation("tc")) == 0
+        second = evaluate(program, db, EngineOptions())
+        assert first.answers() == second.answers()
+        assert len(db.relation("edge")) == 3
+
+
+# -- encoded bulk insertion --------------------------------------------------
+
+
+class TestAddEncodedBatch:
+    def test_decodes_and_preserves_input_order(self):
+        rel = Relation(2, [("a", "b")])
+        rel.index_for((0,))
+        d = global_dictionary()
+        enc = [d.intern_row(("c", "d")), d.intern_row(("e", "f"))]
+        out = rel.add_encoded_batch(enc)
+        assert out == [("c", "d"), ("e", "f")]
+        assert ("c", "d") in rel and ("e", "f") in rel
+
+    def test_maintains_raw_indexes_like_add(self):
+        base = [("a", "b"), ("a", "c")]
+        batch = Relation(2, base)
+        plain = Relation(2, base)
+        batch.index_for((0,))
+        plain.index_for((0,))
+        d = global_dictionary()
+        batch.add_encoded_batch([d.intern_row(("a", "d"))])
+        plain.add(("a", "d"))
+        assert batch.index_for((0,)) == plain.index_for((0,))
+        assert batch.rows() == plain.rows()
+
+
+# -- batch-kernel compile gates ----------------------------------------------
+
+
+def _compiled(text, index=0, sizes=None):
+    program = parse(text)
+    return compile_rule(program.rules[index], index, sizes=sizes)
+
+
+class TestBatchKernelGates:
+    def test_plain_join_rule_compiles(self):
+        cr = _compiled("p(X,Y) :- e(X,Z), f(Z,Y).\n?- p(X,Y).")
+        assert batch_rule_kernel(cr) is not None
+        assert "stats.batch_probes" in batch_kernel_source(cr)
+
+    def test_self_referential_naive_plan_is_gated(self):
+        # the tuple engine inserts per yield while enumerating, so a
+        # step reading the head relation sees mid-firing inserts the
+        # batch snapshot cannot reproduce
+        cr = _compiled(
+            "tc(X,Y) :- tc(X,Z), e(Z,Y).\n?- tc(X,Y).",
+            sizes={"tc": 10, "e": 10},
+        )
+        with pytest.raises(BatchKernelError, match="head relation"):
+            batch_kernel_source(cr)
+        assert batch_rule_kernel(cr) is None
+
+    def test_delta_step_on_head_is_allowed(self):
+        # the frontier at delta step 0 is a frozen snapshot in both
+        # engines, so linear recursion stays batched
+        cr = _compiled(
+            "tc(X,Y) :- tc(X,Z), e(Z,Y).\n?- tc(X,Y).",
+            sizes={"tc": 10, "e": 10},
+        )
+        deltas = [
+            pid
+            for pid in range(len(cr.delta_plans))
+            if batch_rule_kernel(cr, pid) is not None
+        ]
+        assert deltas, "no delta plan of a linear recursion was batchable"
+
+    def test_existential_repeat_is_gated(self):
+        cr = _compiled("p(X) :- e(X), f(Y,Y).\n?- p(X).")
+        with pytest.raises(BatchKernelError, match="repeated"):
+            batch_kernel_source(cr)
+
+    def test_existential_bound_scan_without_indexes_is_gated(self):
+        cr = _compiled("p(X) :- e(X), f(X,Y).\n?- p(X).")
+        assert batch_rule_kernel(cr, use_indexes=True) is not None
+        assert batch_rule_kernel(cr, use_indexes=False) is None
+
+    def test_source_cache_hits_on_identical_shapes(self):
+        clear_batch_kernel_cache()
+        a = _compiled("p(X,Y) :- e(X,Z), f(Z,Y).\n?- p(X,Y).")
+        b = _compiled("p(X,Y) :- e(X,Z), f(Z,Y).\n?- p(X,Y).")
+        batch_rule_kernel(a)
+        before = batch_kernel_cache_stats()
+        batch_rule_kernel(b)
+        after = batch_kernel_cache_stats()
+        assert after["hits"] == before["hits"] + 1
+        assert after["compiles"] == before["compiles"]
+
+
+# -- engine-level integration ------------------------------------------------
+
+
+class TestColumnarEngine:
+    def test_columnar_runs_report_batch_work(self):
+        program = parse(
+            """
+            tc(X,Y) :- edge(X,Y).
+            tc(X,Y) :- tc(X,Z), edge(Z,Y).
+            ?- tc(X,Y).
+            """
+        )
+        db = Database.from_dict({"edge": [(i, i + 1) for i in range(8)]})
+        res = evaluate(program, db, EngineOptions())
+        assert res.stats.batch_probes > 0
+        assert res.stats.batch_rows > 0
+        assert res.stats.dict_size > 0
+        # the self-referential naive plan fell back to the tuple kernel
+        assert res.stats.columnar_fallbacks > 0
+
+    def test_no_columnar_option_disables_batching(self):
+        program = parse("p(X) :- e(X).\n?- p(X).")
+        db = Database.from_dict({"e": [(1,), (2,)]})
+        res = evaluate(program, db, EngineOptions(use_columnar=False))
+        assert res.stats.batch_probes == 0
+        assert res.stats.dict_size == 0
+
+    def test_provenance_routes_around_batch_kernels(self):
+        program = parse("p(X) :- e(X).\n?- p(X).")
+        db = Database.from_dict({"e": [(1,), (2,)]})
+        res = evaluate(program, db, EngineOptions(record_provenance=True))
+        assert res.stats.batch_probes == 0
+        assert res.provenance is not None

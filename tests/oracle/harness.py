@@ -21,6 +21,11 @@ Strategies covered:
     CLI's ``--no-scc``): each stratum runs as one monolithic semi-naive
     fixpoint — the pre-scheduler engine, so unit scheduling is
     differentially tested against the loop it replaced.
+``tuple-kernel``
+    The scheduled engine with the columnar batch kernels disabled
+    (``use_columnar=False``, the CLI's ``--no-columnar``), so every
+    batch kernel is differentially tested against the tuple kernel it
+    replaced.
 ``seminaive-interp``
     The scheduled engine on the plan interpreter (``use_kernels=False``,
     the CLI's ``--no-kernel``), so every generated kernel is
@@ -44,8 +49,10 @@ against every engine, not just the default one.
 The ``REPRO_ORACLE_BASE`` environment variable overlays base engine
 options under every strategy (strategy-specific overrides win), e.g.
 ``REPRO_ORACLE_BASE=no-kernel,parallel=4`` re-runs the whole oracle
-suite with the interpreter and a 4-thread unit scheduler.  CI uses this
-to sweep the engine flag matrix without duplicating the suite.
+suite with the interpreter and a 4-thread unit scheduler, and
+``REPRO_ORACLE_BASE=no-columnar`` sweeps it on the tuple kernels with
+the batch plane off.  CI uses this to sweep the engine flag matrix
+without duplicating the suite.
 """
 
 from __future__ import annotations
@@ -70,6 +77,7 @@ STRATEGIES: dict[str, dict] = {
     "naive": {"strategy": "naive"},
     "scc-scheduler": {},
     "seminaive-monolithic": {"use_scc": False},
+    "tuple-kernel": {"use_columnar": False},
     "seminaive-interp": {"use_kernels": False},
     "seminaive-scan": {"use_indexes": False},
     "seminaive-scan-interp": {"use_indexes": False, "use_kernels": False},
@@ -87,6 +95,8 @@ def _base_overrides() -> dict:
             out["use_kernels"] = False
         elif token == "no-index":
             out["use_indexes"] = False
+        elif token == "no-columnar":
+            out["use_columnar"] = False
         elif token.startswith("parallel="):
             out["parallel"] = int(token.split("=", 1)[1])
         else:
