@@ -34,6 +34,7 @@ import bench_example12_transform as e12
 import bench_arity_sweep as p5
 import bench_incremental as ivm
 import bench_magic_composition as p4
+import bench_planner as plan
 import bench_scheduler as sched
 import bench_topdown_vs_magic as td
 
@@ -795,6 +796,102 @@ def report_incremental() -> None:
     print(f"(wrote {INCREMENTAL_JSON.name})")
 
 
+#: machine-readable planner ablation, regenerated by report_planner()
+PLANNER_JSON = Path(__file__).parent / "BENCH_planner.json"
+
+#: greedy heuristic vs the bound-driven DP planner vs the planner with
+#: the adaptive replanner at its most aggressive cadence
+PLANNER_CONFIGS = {
+    "greedy": {"use_cost_planner": False},
+    "cost": {},
+    "cost-replan": {"replan_rounds": 1},
+}
+
+
+def report_planner() -> None:
+    """Greedy vs cost-based join ordering; writes BENCH_planner.json.
+
+    Every configuration of a workload must reach the same fixpoint
+    with the same answers — join order is a pure work optimization.
+    On the skewed families (``fanout-trap``, ``skew-star``) the cost
+    planner must cut join work at least 3x below greedy; on the
+    parity control it must stay within 10% of greedy.  Both gates
+    report through the same violation channel as the fact-count
+    regressions, so a planner that silently degrades fails the build.
+    """
+    payload = {
+        "_meta": {
+            "configs": {
+                name: (overrides or "engine defaults")
+                for name, overrides in PLANNER_CONFIGS.items()
+            },
+            "note": "join_work = rows_scanned + index_probes; the 3x "
+            "gate applies to the skewed families, the 1.1x parity "
+            "gate to the control — wall-clock is one warmed run",
+        }
+    }
+    baseline = load_baseline(PLANNER_JSON)
+    rows = []
+    for family, (make_program, make_db) in sorted(plan.WORKLOADS.items()):
+        program = make_program()
+        payload[family] = {}
+        join_work = {}
+        fact_counts = {}
+        for config, overrides in PLANNER_CONFIGS.items():
+            db = make_db()  # fresh (cold) database per configuration
+            opts = EngineOptions(**overrides)
+            ms, res = timed(lambda p=program, d=db, o=opts: evaluate(p, d, o))
+            join_work[config] = res.stats.join_work
+            fact_counts[config] = res.stats.facts_derived
+            payload[family][config] = {
+                "wall_ms": round(ms, 3),
+                **res.stats.as_dict(),
+            }
+            check_against_baseline(
+                "planner", baseline, family, config, res.stats.facts_derived
+            )
+            rows.append([
+                family, config, fmt(ms), res.stats.join_work,
+                res.stats.plans_costed, res.stats.replans,
+                f"{res.stats.bound_overestimate_max:.1f}",
+            ])
+        for config in ("cost", "cost-replan"):
+            check_no_extra_facts(
+                "planner", f"{config} vs greedy on {family}",
+                fact_counts[config], fact_counts["greedy"],
+            )
+            if fact_counts[config] != fact_counts["greedy"]:
+                VIOLATIONS.append(
+                    f"planner: {config} on {family} derived "
+                    f"{fact_counts[config]} facts vs "
+                    f"{fact_counts['greedy']} under greedy"
+                )
+        ratio = join_work["greedy"] / max(1, join_work["cost"])
+        if family in plan.SKEWED and ratio < 3.0:
+            VIOLATIONS.append(
+                f"planner: cost join-work win on skewed family "
+                f"{family} is only x{ratio:.2f} (gate: >= x3)"
+            )
+        if family not in plan.SKEWED and ratio < 1 / 1.1:
+            VIOLATIONS.append(
+                f"planner: cost join work on parity family {family} "
+                f"is x{1 / ratio:.2f} greedy's (gate: <= x1.1)"
+            )
+        rows.append([
+            family, "=> cost join-work win", f"x{ratio:.1f}", "", "", "", "",
+        ])
+    with open(PLANNER_JSON, "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.write("\n")
+    table(
+        "PLAN — bound-driven cost planner vs the greedy heuristic",
+        ["workload", "config", "time", "join work", "plans", "replans",
+         "overest"],
+        rows,
+    )
+    print(f"(wrote {PLANNER_JSON.name})")
+
+
 REPORTS = {
     "e2": report_e2,
     "e3": report_e3,
@@ -806,6 +903,7 @@ REPORTS = {
     "ix": report_ix,
     "engine": report_engine,
     "columnar": report_columnar,
+    "planner": report_planner,
     "scheduler": report_scheduler,
     "governor": report_governor,
     "incremental": report_incremental,

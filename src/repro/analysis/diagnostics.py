@@ -163,6 +163,15 @@ CODES: dict[str, CodeInfo] = {
             "so encoding overhead dominates on small EDBs",
             "section 3.1 boolean rules; engine --no-columnar",
         ),
+        _info(
+            "DL017", "bound-blowup", Severity.WARNING,
+            "a rule's cardinality upper bound blows up past the "
+            "blowup threshold under the planner's synthetic EDB "
+            "profile: even the best join order materializes a huge "
+            "intermediate result, typically a needed Cartesian "
+            "product or a long weakly-connected chain",
+            "section 2 adorned bounds; engine cost planner",
+        ),
     )
 }
 

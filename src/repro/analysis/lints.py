@@ -483,6 +483,87 @@ def _check_adornment_opportunities(program: Program, diags: list) -> None:
             )
 
 
+#: multiple of the synthetic per-relation size past which a rule's best
+#: achievable intermediate bound counts as a blowup — crossed only by
+#: needed cross products and very long weakly-joined chains, never by
+#: the paper's chain/TC/same-generation shapes
+BOUND_BLOWUP_FACTOR = 100
+
+
+def _check_bound_blowup(program: Program, diags: list) -> None:
+    """DL017 — a rule whose *best* join order still blows up.
+
+    :func:`repro.engine.cost.rule_intermediate_bound` prices every body
+    under a synthetic EDB profile (``DEFAULT_SIZE`` rows, mild per-
+    position fanout) and reports the largest intermediate cardinality
+    along the cheapest order its DP finds.  When even that optimum
+    exceeds ``BOUND_BLOWUP_FACTOR ×  DEFAULT_SIZE``, no planner can
+    save the rule: the body itself forces a huge intermediate result
+    (a cross product every component of which feeds the head, or a
+    chain so long the fanout compounds past the threshold).  Purely
+    existential body components are exempt by construction: the bound
+    prices them at one row, because the Lemma 3.1 cut retires them as
+    boolean subqueries (reported separately as DL011) before the join
+    ever enumerates them.  When the program adorns (it has a query the
+    pipeline accepts), the **adorned** rules are priced — a head
+    position the adornment marks ``d`` no longer anchors its body
+    component, exactly as projection pushing will evaluate it; without
+    a usable adornment the raw rules are priced instead.
+    """
+    from ..core.adornment import adorn, split_adorned
+    from ..engine.cost import DEFAULT_SIZE, rule_intermediate_bound
+
+    threshold = BOUND_BLOWUP_FACTOR * DEFAULT_SIZE
+    # (plain rule to price, needed override, anchor predicate, span)
+    try:
+        adorned = adorn(program)
+    except ReproError:
+        adorned = None
+    if adorned is not None:
+        priced = [
+            (
+                rule.to_rule(),
+                frozenset(
+                    rule.head.atom.args[i]
+                    for i in rule.head.adornment.needed_positions
+                    if isinstance(rule.head.atom.args[i], Variable)
+                ),
+                split_adorned(rule.head.atom.predicate)[0],
+                rule.head.atom.span,
+            )
+            for rule in adorned.rules
+        ]
+    else:
+        priced = [
+            (rule, None, rule.head.predicate, rule.head.span)
+            for rule in program.rules
+        ]
+
+    seen: set[tuple] = set()
+    for rule, anchor, predicate, span in priced:
+        if len(rule.body) < 2:
+            continue
+        bound = rule_intermediate_bound(rule, needed=anchor)
+        if bound <= threshold:
+            continue
+        if (predicate, span) in seen:
+            continue  # one report per source rule, not per adornment
+        seen.add((predicate, span))
+        diags.append(
+            _diag(
+                "DL017",
+                f"best-order intermediate bound {bound:.0f} exceeds "
+                f"{threshold} (= {BOUND_BLOWUP_FACTOR}x the synthetic "
+                f"relation size): every join order materializes a "
+                f"blown-up intermediate result",
+                predicate=predicate,
+                span=span,
+                hint="split the body into rules sharing more variables, "
+                "or drop head variables so the existential cut applies",
+            )
+        )
+
+
 def _check_chain_regularity(program: Program, diags: list) -> None:
     """DL013 — Theorem 3.3: chain program with a regular grammar."""
     if program.query is None or not program.rules:
@@ -561,4 +642,5 @@ def lint_program(
         # accepts; with errors present the story is already told above
         _check_adornment_opportunities(program, diags)
         _check_chain_regularity(program, diags)
+        _check_bound_blowup(program, diags)
     return LintReport(tuple(diags), source=source)

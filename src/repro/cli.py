@@ -104,6 +104,8 @@ def _engine_kwargs(args) -> dict:
         use_indexes=not args.no_index,
         use_kernels=not args.no_kernel,
         use_columnar=not args.no_columnar,
+        use_cost_planner=not args.no_cost_planner,
+        replan_rounds=args.replan_rounds,
         use_scc=not args.no_scc,
         parallel=args.parallel,
         deadline_s=args.deadline,
@@ -427,6 +429,22 @@ def _add_engine_flags(p_run: argparse.ArgumentParser) -> None:
         "the dictionary-encoded batch kernels (the columnar plane's "
         "differential oracle; answers and work counters are identical, "
         "only wall-clock differs)",
+    )
+    p_run.add_argument(
+        "--no-cost-planner",
+        action="store_true",
+        help="order joins with the size-greedy heuristic instead of the "
+        "bound-driven cost model (the planner's differential oracle; "
+        "answers and fact counts are identical, only join work differs)",
+    )
+    p_run.add_argument(
+        "--replan-rounds",
+        type=int,
+        default=4,
+        metavar="N",
+        help="under the cost planner, re-rank a recursive fixpoint's "
+        "delta plans from observed round cardinalities every N rounds "
+        "(0 disables adaptive replanning; default 4)",
     )
     p_run.add_argument(
         "--no-scc",

@@ -14,6 +14,15 @@ Public entry point: :func:`evaluate`.
 [(2,), (3,)]
 """
 
+from .cost import (
+    AdaptiveReplanner,
+    BoundCostModel,
+    CostModel,
+    RelationProfile,
+    bucket_size,
+    profile_database,
+    rule_intermediate_bound,
+)
 from .evaluator import EngineOptions, EvalResult, answers_of, evaluate
 from .incremental import IncrementalSession
 from .prepared import (
@@ -70,6 +79,13 @@ __all__ = [
     "LiteralPlan",
     "compile_rule",
     "order_body",
+    "CostModel",
+    "BoundCostModel",
+    "AdaptiveReplanner",
+    "RelationProfile",
+    "profile_database",
+    "bucket_size",
+    "rule_intermediate_bound",
     "KernelError",
     "kernel_source",
     "rule_kernel",

@@ -36,7 +36,11 @@ provenance-recording runs to the tuple path before ever asking for a
 batch kernel.
 
 Like :mod:`repro.engine.kernel`, generated functions are cached
-globally by source text and memoized per compiled rule.
+globally by source text and memoized per compiled rule; adaptive
+replans (:func:`~repro.engine.plan.replan_delta_plans`) produce fresh
+``CompiledRule`` objects whose re-ranked plans re-enter codegen through
+the same process-wide source cache, so a previously seen join order
+never recompiles.
 """
 
 from __future__ import annotations

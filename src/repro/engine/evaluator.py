@@ -36,6 +36,7 @@ from ..datalog.columnar import global_dictionary
 from ..datalog.database import Database
 from ..datalog.errors import EvaluationError, ValidationError
 from ..datalog.terms import Constant, Variable
+from .cost import BoundCostModel
 from .faults import FaultInjector, FaultPlan, SchedulerFault
 from .governor import BudgetExceeded, Governor, ResourceExhausted
 from .prepared import PreparedProgram, prepare
@@ -80,6 +81,21 @@ class EngineOptions:
         ``--no-columnar``) pins every rule to the PR-2 tuple kernels —
         the batch engine's differential oracle; answers, fact counts
         and every engine-invariant counter are bit-identical.
+    use_cost_planner
+        Order rule bodies with the bound-driven cost model (default):
+        relations are profiled into log-bucketed sizes and per-position
+        maximum degrees, and a DP search picks the join order with the
+        smallest summed intermediate-result bound
+        (:mod:`repro.engine.cost`).  ``False`` (the CLI's
+        ``--no-cost-planner``) keeps the size-greedy heuristic — the
+        planner's differential oracle.  Join order never changes
+        answers or fact counts, only the work counters.
+    replan_rounds
+        Under the cost planner, re-rank a recursive fixpoint's delta
+        plans from observed round cardinalities every N rounds
+        (adaptive re-planning; ``stats.replans``).  ``0`` disables
+        replanning; the default re-plans every 4 rounds.  Ignored with
+        ``use_cost_planner=False``.
     use_scc
         Schedule each stratum as a topologically ordered DAG of
         SCC evaluation units (default; see
@@ -137,6 +153,8 @@ class EngineOptions:
     use_indexes: bool = True
     use_kernels: bool = True
     use_columnar: bool = True
+    use_cost_planner: bool = True
+    replan_rounds: int = 4
     use_scc: bool = True
     parallel: int = 1
     record_provenance: bool = False
@@ -156,6 +174,10 @@ class EngineOptions:
         if self.on_limit not in ("raise", "partial"):
             raise ValidationError(
                 f"on_limit must be 'raise' or 'partial', got {self.on_limit!r}"
+            )
+        if self.replan_rounds < 0:
+            raise ValidationError(
+                f"replan_rounds must be >= 0, got {self.replan_rounds}"
             )
         for name in ("max_iterations", "max_unit_iterations", "max_facts",
                      "max_delta_rows"):
@@ -322,7 +344,13 @@ def evaluate(
     largest = max(sizes.values(), default=0)
     for pred in program.idb_predicates():
         sizes[pred] = max(sizes.get(pred, 0), largest + 1)
-    prepared = prepare(program, sizes)
+    cost_model = (
+        BoundCostModel.from_database(db, sizes) if opts.use_cost_planner else None
+    )
+    prepared = prepare(program, sizes, cost_model=cost_model)
+    # recorded on the preparation, not the call, so a prepared-cache
+    # hit reports exactly the counters of the cold build it reuses
+    stats.plans_costed += prepared.plans_costed
 
     # Seed fact rules (ground, body-less); the paper keeps facts in the
     # EDB but the parser tolerates them in programs.
@@ -350,18 +378,32 @@ def evaluate(
         if opts.use_columnar and opts.use_kernels and not opts.record_provenance:
             stats.dict_size = len(global_dictionary())
 
+    # Adaptive replanning rides on the cost planner: recursive
+    # fixpoints re-rank their delta plans every `replan_rounds` rounds
+    # from observed frontier cardinalities.  Replans are a pure
+    # join-order change, so answers and fact counts are untouched.
+    replan = (
+        opts.replan_rounds
+        if opts.use_cost_planner and opts.strategy == "seminaive"
+        else 0
+    )
     try:
         if opts.use_scc:
             try:
-                run_scheduled(strata, info, db, stats, provenance, opts, governor)
+                run_scheduled(
+                    strata, info, db, stats, provenance, opts, governor,
+                    replan_rounds=replan,
+                )
             except SchedulerFault:
                 # SCC→monolithic rung: scheduling failed before any
                 # unit ran, so the stratum loop takes over from the
                 # same (untouched) database state
                 injector.record(stats, "scc->monolithic")
-                run_monolithic(strata, db, stats, provenance, opts, governor)
+                run_monolithic(strata, db, stats, provenance, opts, governor,
+                               replan_rounds=replan)
         else:
-            run_monolithic(strata, db, stats, provenance, opts, governor)
+            run_monolithic(strata, db, stats, provenance, opts, governor,
+                           replan_rounds=replan)
     except BudgetExceeded as exc:
         finalize()
         if opts.on_limit == "partial":

@@ -34,6 +34,12 @@ Generated functions are cached globally by source text (the source *is*
 the plan signature: predicate names, slot assignments, bound-position
 keys, inlined constants, and flags all appear in it), so repeated
 ``evaluate()`` calls over the same program shapes skip ``compile()``.
+This process-wide cache is also what keeps adaptive replanning
+amortized: a :func:`~repro.engine.plan.replan_delta_plans` clone is a
+fresh ``CompiledRule`` whose per-object memo starts empty, but any
+re-ranked plan whose join order was generated before — including a
+replan that toggles back to an earlier order — hits the source-text
+cache and costs string generation only, no ``compile()``.
 Use :func:`kernel_source` to read the generated code when debugging.
 
 These per-row kernels are the middle rung of the engine ladder: when

@@ -46,6 +46,7 @@ __all__ = [
     "order_body",
     "compile_rule",
     "rebind_plans",
+    "replan_delta_plans",
 ]
 
 
@@ -252,16 +253,31 @@ def order_body(
     body: Sequence[Atom],
     first: Optional[int] = None,
     sizes: Optional[Mapping[str, int]] = None,
+    cost_model=None,
+    needed: frozenset = frozenset(),
 ) -> tuple[LiteralPlan, ...]:
     """Choose a join order and compute binding patterns.
 
     *first*, when given, forces that body index to the front — used by
-    the semi-naive evaluator to start from the delta literal.  The rest
-    is ordered greedily by the selectivity heuristic: most bound
-    argument positions first, ties broken by smaller relation size
-    (when *sizes* gives an estimate for the predicate; unknown
-    predicates sort as largest), then by original body order, keeping
-    plans deterministic.
+    the semi-naive evaluator to start from the delta literal.  When
+    *cost_model* is given (a :class:`repro.engine.cost.CostModel`), the
+    rest of the order comes from its bound-driven DP search over the
+    remaining literals (*needed* is the rule's always-live variable
+    set, which the model uses for the existential d-position cap); a
+    model that declines — wide bodies past its DP limit — falls
+    through to the greedy heuristic below, the planner's fallback rung.
+
+    The greedy heuristic orders by most bound argument positions
+    first, ties broken by smaller relation size (when *sizes* gives an
+    estimate for the predicate; unknown predicates sort as largest).
+
+    **Deterministic tie-break contract:** candidates equal on both
+    criteria are taken in original body order.  The selection key ends
+    in ``-i`` under ``max``, so the smallest body index always wins an
+    exact tie; cost-model orders break exact-cost ties the same way
+    (lexicographically smallest index sequence).  This is pinned by
+    tests — cost-vs-greedy differentials rely on both planners being
+    exactly reproducible, never on hash or insertion order.
     """
     remaining = list(range(len(body)))
     plans: list[LiteralPlan] = []
@@ -281,6 +297,14 @@ def order_body(
 
     if first is not None:
         take(first)
+    if cost_model is not None and remaining:
+        order = cost_model.order_remaining(
+            body, tuple(remaining), frozenset(bound_vars), needed
+        )
+        if order is not None:
+            for i in order:
+                take(i)
+            return tuple(plans)
     while remaining:
         best = max(
             remaining,
@@ -366,28 +390,72 @@ def _mark_existential(
     return tuple(marked)
 
 
-def compile_rule(
-    rule: Rule, rule_index: int, sizes: Optional[Mapping[str, int]] = None
-) -> CompiledRule:
-    """Compile *rule*: one naive plan plus one delta plan per
-    relational literal; built-ins become post-match filters.  *sizes*
-    (relation row counts) feeds the join-order selectivity heuristic."""
-    relational = tuple(a for a in rule.body if not is_builtin(a.predicate))
-    builtins = tuple(a for a in rule.body if is_builtin(a.predicate))
-    always_needed = frozenset(
+def _always_needed(rule: Rule, builtins: tuple[Atom, ...]) -> frozenset[Variable]:
+    """Variables no plan step may treat as dead: the head's, the
+    built-in filters', and the negated literals'."""
+    return frozenset(
         a
         for atom in (rule.head, *builtins, *rule.negative)
         for a in atom.args
         if isinstance(a, Variable)
     )
-    plan = _mark_existential(order_body(relational, sizes=sizes), always_needed)
+
+
+def compile_rule(
+    rule: Rule,
+    rule_index: int,
+    sizes: Optional[Mapping[str, int]] = None,
+    cost_model=None,
+) -> CompiledRule:
+    """Compile *rule*: one naive plan plus one delta plan per
+    relational literal; built-ins become post-match filters.  *sizes*
+    (relation row counts) feeds the join-order selectivity heuristic;
+    *cost_model*, when given, orders bodies by bound-driven DP search
+    instead (:mod:`repro.engine.cost`), with the greedy heuristic as
+    its fallback rung."""
+    relational = tuple(a for a in rule.body if not is_builtin(a.predicate))
+    builtins = tuple(a for a in rule.body if is_builtin(a.predicate))
+    always_needed = _always_needed(rule, builtins)
+    plan = _mark_existential(
+        order_body(relational, sizes=sizes, cost_model=cost_model,
+                   needed=always_needed),
+        always_needed,
+    )
     delta_plans = tuple(
         _mark_existential(
-            order_body(relational, first=i, sizes=sizes), always_needed
+            order_body(relational, first=i, sizes=sizes,
+                       cost_model=cost_model, needed=always_needed),
+            always_needed,
         )
         for i in range(len(relational))
     )
     return CompiledRule(rule, rule_index, relational, builtins, plan, delta_plans)
+
+
+def replan_delta_plans(cr: CompiledRule, cost_model) -> CompiledRule:
+    """*cr* with every delta plan re-ordered by *cost_model*.
+
+    The adaptive replanner calls this between fixpoint rounds with a
+    model built from observed cardinalities.  The naive plan is left
+    untouched (it already ran); only the delta plans — the per-round
+    hot path — are re-ranked.  Returns *cr* itself when every order is
+    unchanged, so kernels memoized on the object survive no-op
+    replans; otherwise a fresh :class:`CompiledRule` whose kernels are
+    re-generated on demand (amortized by the process-wide source-text
+    caches in :mod:`repro.engine.kernel` / ``batch_kernel``).
+    """
+    always_needed = _always_needed(cr.rule, cr.builtins)
+    delta_plans = tuple(
+        _mark_existential(
+            order_body(cr.relational_body, first=i, cost_model=cost_model,
+                       needed=always_needed),
+            always_needed,
+        )
+        for i in range(len(cr.relational_body))
+    )
+    if delta_plans == cr.delta_plans:
+        return cr
+    return replace(cr, delta_plans=delta_plans)
 
 
 def _rebind(plan: LiteralPlan, bound: Mapping) -> LiteralPlan:

@@ -12,13 +12,22 @@ on every invocation.
 :class:`PreparedProgram` and caches it in a bounded process-wide LRU,
 keyed by the **canonical program text** (``str(program)`` — rules in
 order, negation rendered, query included, and for adorned programs the
-adornment is part of every predicate name) together with the **size
-signature** the join-order heuristic consumed.  Two calls with the same
-key are guaranteed byte-identical plans, so a cache hit changes no
-counter of any evaluation — it only skips the planning work.  The size
-signature is part of the key precisely because plans *depend* on it:
-caching across different relation-size profiles would silently change
-join orders mid-differential-test.
+adornment is part of every predicate name) together with the
+**log-bucketed size signature** the join-order heuristic consumed and
+the **cost-model signature** when a cost-based planner ordered the
+plans.  Two calls with the same key are guaranteed byte-identical
+plans, so a cache hit changes no counter of any evaluation — it only
+skips the planning work.  The signatures are part of the key precisely
+because plans *depend* on them: caching across different profiles
+would silently change join orders mid-differential-test.
+
+Sizes are bucketed (:func:`repro.engine.cost.bucket_size`: powers of
+two, representative = bucket maximum) *before* both keying and
+planning: the greedy heuristic and the cost model only ever see the
+representatives, so two EDBs in the same buckets share one cache entry
+*and* provably identical plans.  This is what keeps an always-on serve
+session from evicting its prepared plans every time a relation grows
+by a handful of rows.
 
 Compiled kernels need no second cache here: they are memoized on each
 ``CompiledRule`` and globally by generated source text
@@ -37,6 +46,7 @@ from typing import Mapping, Optional
 from ..datalog.analysis import DependencyInfo, analyze, stratify
 from ..datalog.ast import Program
 from ..datalog.errors import ValidationError
+from .cost import bucket_size
 from .plan import CompiledRule, compile_rule
 
 __all__ = [
@@ -71,15 +81,38 @@ class PreparedProgram:
     strata: tuple[tuple[CompiledRule, ...], ...]
     #: head arities of every predicate occurring in the program
     arities: Mapping[str, int]
+    #: rule bodies the cost model's DP search ordered while building
+    #: this preparation (0 under the greedy planner).  Recorded here —
+    #: not on the run — so a cache hit reports the same
+    #: ``stats.plans_costed`` as the cold build it reuses: hits are
+    #: bit-identical in every counter.
+    plans_costed: int = 0
 
     def idb_predicates(self) -> frozenset[str]:
         return self.info.idb
 
 
-def program_key(program: Program, sizes: Optional[Mapping[str, int]]) -> tuple:
-    """The cache key: canonical text plus the exact size signature."""
-    size_sig = tuple(sorted(sizes.items())) if sizes else ()
-    return (str(program), size_sig)
+def bucketed_sizes(sizes: Optional[Mapping[str, int]]) -> Optional[dict]:
+    """*sizes* with every count replaced by its bucket representative —
+    the only size view planning (greedy or cost-based) ever consumes."""
+    if sizes is None:
+        return None
+    return {p: bucket_size(n) for p, n in sizes.items()}
+
+
+def program_key(
+    program: Program,
+    sizes: Optional[Mapping[str, int]],
+    cost_signature: tuple = (),
+) -> tuple:
+    """The cache key: canonical text, log-bucketed size signature, and
+    the planner's cost-model signature (``()`` for pure greedy)."""
+    size_sig = (
+        tuple(sorted((p, bucket_size(n)) for p, n in sizes.items()))
+        if sizes
+        else ()
+    )
+    return (str(program), size_sig, cost_signature)
 
 
 _CACHE: "OrderedDict[tuple, PreparedProgram]" = OrderedDict()
@@ -89,16 +122,22 @@ _HITS = 0
 _MISSES = 0
 
 
-def _build(program: Program, sizes: Optional[Mapping[str, int]], key: tuple) -> PreparedProgram:
+def _build(
+    program: Program,
+    sizes: Optional[Mapping[str, int]],
+    key: tuple,
+    cost_model=None,
+) -> PreparedProgram:
     fact_rules: list[tuple[str, tuple]] = []
     compiled: list[CompiledRule] = []
+    rep_sizes = bucketed_sizes(sizes)
     for i, r in enumerate(program.rules):
         if not r.body:
             if not r.head.is_ground():
                 raise ValidationError(f"unsafe fact rule: {r}")
             fact_rules.append((r.head.predicate, r.head.as_fact()))
             continue
-        compiled.append(compile_rule(r, i, sizes=sizes))
+        compiled.append(compile_rule(r, i, sizes=rep_sizes, cost_model=cost_model))
     info = analyze(program)
     if program.has_negation():
         layers = stratify(program, info)
@@ -119,6 +158,7 @@ def _build(program: Program, sizes: Optional[Mapping[str, int]], key: tuple) -> 
         info=info,
         strata=strata,
         arities=dict(program.arities()),
+        plans_costed=getattr(cost_model, "plans_costed", 0),
     )
 
 
@@ -126,6 +166,7 @@ def prepare(
     program: Program,
     sizes: Optional[Mapping[str, int]] = None,
     *,
+    cost_model=None,
     use_cache: bool = True,
 ) -> PreparedProgram:
     """Return the (possibly cached) :class:`PreparedProgram`.
@@ -133,11 +174,16 @@ def prepare(
     *sizes* is the relation-size profile fed to the join-order
     heuristic, exactly as :func:`~repro.engine.evaluator.evaluate`
     computes it (IDB predicates bumped past the largest stored
-    relation).  A hit returns plans identical to a fresh compile under
-    the same profile, so cached and uncached evaluations are
-    bit-identical in every counter.
+    relation); planning consumes its bucket representatives, never the
+    exact counts.  *cost_model*, when given, orders rule bodies
+    (:mod:`repro.engine.cost`) and contributes its signature — which
+    captures every profile the model plans from — to the cache key.  A
+    hit returns plans identical to a fresh compile under the same key,
+    so cached and uncached evaluations are bit-identical in every
+    counter.
     """
-    key = program_key(program, sizes)
+    cost_sig = cost_model.signature() if cost_model is not None else ()
+    key = program_key(program, sizes, cost_sig)
     global _HITS, _MISSES
     if use_cache:
         with _CACHE_LOCK:
@@ -146,7 +192,7 @@ def prepare(
                 _CACHE.move_to_end(key)
                 _HITS += 1
                 return cached
-    prepared = _build(program, sizes, key)
+    prepared = _build(program, sizes, key, cost_model=cost_model)
     if use_cache:
         with _CACHE_LOCK:
             if key in _CACHE:

@@ -78,10 +78,11 @@ from .batch_kernel import (
 #: firing skips the batch tier for the tuple kernel: recursive delta
 #: firings amortize the encode across rounds, a single firing cannot
 _COLD_DEBT_LIMIT = 4096
+from .cost import AdaptiveReplanner
 from .faults import SchedulerFault, WorkerDeath
 from .governor import BudgetExceeded, Governor, Guard
 from .kernel import rule_kernel
-from .plan import CompiledRule, DeltaIndex, match_plan
+from .plan import CompiledRule, DeltaIndex, match_plan, replan_delta_plans
 from .provenance import Justification
 from .statistics import EvalStats
 
@@ -457,6 +458,7 @@ def _naive_loop(active, db, stats, provenance, opts, retire, guard) -> None:
 def _seminaive_loop(
     active, db, stats, provenance, opts, retire, guard,
     recursive: Optional[frozenset] = None,
+    replan_rounds: int = 0,
 ) -> None:
     # Specialize each rule once per *recursive* literal — a body
     # position whose predicate can still change while this loop runs.
@@ -471,6 +473,21 @@ def _seminaive_loop(
     specializations = [
         (cr, cr.delta_literals(recursive)) for cr in active
     ]
+    replanner = (
+        AdaptiveReplanner(replan_rounds, frozenset(recursive))
+        if replan_rounds
+        else None
+    )
+    # everything this loop may re-profile: its own writes plus frozen
+    # inputs.  Sibling units' relations are excluded — under parallel
+    # scheduling they are being written concurrently, and this loop
+    # never reads them anyway.
+    replan_scope = (
+        frozenset(recursive)
+        | {a.predicate for cr in active for a in cr.relational_body}
+        if replanner is not None
+        else frozenset()
+    )
 
     # First round is naive: it also accounts for initial IDB facts,
     # which uniform-equivalence inputs may contain.
@@ -493,6 +510,34 @@ def _seminaive_loop(
         # specialization probing that frontier this round reuses the
         # same lazily built position groupings.
         previous = {p: _frontier(rows) for p, rows in delta.items() if rows}
+        if replanner is not None:
+            # Adaptive replanning: fold this round's true frontier
+            # cardinalities into the decayed estimates; every
+            # `replan_rounds` rounds, re-rank the delta plans from the
+            # grown relations' fresh profiles.  Frontier sizes and
+            # stored facts are bit-identical across every execution
+            # tier, so all tiers replan identically; join order changes
+            # work counters only, never answers or fact counts.
+            replanner.observe({p: len(f) for p, f in previous.items()})
+            if replanner.overestimate_max > stats.bound_overestimate_max:
+                stats.bound_overestimate_max = replanner.overestimate_max
+            if replanner.due():
+                # None = every profile is still in its last bucket, so
+                # the DP would reproduce the current orders; the skip
+                # is tier-invariant (sizes only), so counters agree
+                model = replanner.model_for(db, replan_scope)
+            else:
+                model = None
+            if model is not None:
+                stats.replans += 1
+                renewed = [replan_delta_plans(cr, model) for cr in active]
+                stats.plans_costed += model.plans_costed
+                if any(new is not old for new, old in zip(renewed, active)):
+                    active = renewed
+                    specializations = [
+                        (cr, cr.delta_literals(recursive)) for cr in active
+                    ]
+                    alive = set(map(id, active))
         delta = {}
         for cr, delta_literals in specializations:
             if id(cr) not in alive:
@@ -566,6 +611,11 @@ def run_seeded_unit(
     the already-added rows merged back into *seeds*, makes the retry
     complete exactly the interrupted pass (re-derivations are
     duplicates, and rows added before the fault re-enter the frontier).
+
+    Seeded runs never replan adaptively: maintenance frontiers are
+    typically tiny, and keeping the session's prepared plans fixed
+    keeps repeat maintenance passes byte-comparable — the cost planner
+    still ordered the plans at prepare time.
     """
     if out is None:
         out = {}
@@ -632,7 +682,9 @@ def run_seeded_unit(
 # ---------------------------------------------------------------------------
 
 
-def run_monolithic(strata, db, stats, provenance, opts, governor=None) -> None:
+def run_monolithic(
+    strata, db, stats, provenance, opts, governor=None, replan_rounds: int = 0
+) -> None:
     """Evaluate each stratum as one fixpoint over all its rules.
 
     This is the pre-scheduler engine, kept verbatim: with
@@ -654,7 +706,8 @@ def run_monolithic(strata, db, stats, provenance, opts, governor=None) -> None:
             if opts.strategy == "naive":
                 _naive_loop(active, db, stats, provenance, opts, retire, guard)
             else:
-                _seminaive_loop(active, db, stats, provenance, opts, retire, guard)
+                _seminaive_loop(active, db, stats, provenance, opts, retire,
+                                guard, replan_rounds=replan_rounds)
         except BudgetExceeded as exc:
             if exc.stratum is None:
                 exc.stratum = stratum_index
@@ -714,7 +767,7 @@ def build_units(stratum_rules, info: DependencyInfo, edges, component_of) -> lis
 
 
 def _run_unit(
-    unit: EvalUnit, db: Database, opts, guard: Guard
+    unit: EvalUnit, db: Database, opts, guard: Guard, replan_rounds: int = 0
 ) -> tuple[EvalStats, dict, Optional[Exception]]:
     """Evaluate one unit to its local fixpoint.
 
@@ -744,7 +797,7 @@ def _run_unit(
             else:
                 _seminaive_loop(
                     active, db, stats, provenance, opts, retire, guard,
-                    recursive=unit.members,
+                    recursive=unit.members, replan_rounds=replan_rounds,
                 )
         if retire.unit_satisfied(db):
             retire.retire_all(unit.rules)
@@ -769,7 +822,8 @@ def _merge_unit(stats, provenance, unit, unit_stats, unit_prov) -> None:
 
 
 def run_scheduled(
-    strata, info: DependencyInfo, db, stats, provenance, opts, governor=None
+    strata, info: DependencyInfo, db, stats, provenance, opts, governor=None,
+    replan_rounds: int = 0,
 ) -> None:
     """Evaluate every stratum as a topologically scheduled DAG of units.
 
@@ -815,14 +869,16 @@ def run_scheduled(
                     if executor is None:
                         executor = ThreadPoolExecutor(max_workers=opts.parallel)
                     futures = [
-                        executor.submit(_run_unit, unit, db, opts, guard)
+                        executor.submit(
+                            _run_unit, unit, db, opts, guard, replan_rounds
+                        )
                         for unit, guard in zip(batch, guards)
                     ]
                     results = [f.result() for f in futures]
                     stats.units_parallel += len(batch)
                 else:
                     results = [
-                        _run_unit(unit, db, opts, guard)
+                        _run_unit(unit, db, opts, guard, replan_rounds)
                         for unit, guard in zip(batch, guards)
                     ]
                 # barrier: merge in unit order (deterministic), head
@@ -839,7 +895,7 @@ def run_scheduled(
                         # so an inline re-run of the unit completes it
                         injector.record(stats, "parallel->sequential", unit.label)
                         retry_stats, retry_prov, failure = _run_unit(
-                            unit, db, opts, guard
+                            unit, db, opts, guard, replan_rounds
                         )
                         _merge_unit(stats, provenance, unit, retry_stats, retry_prov)
                     if failure is not None and pending is None:

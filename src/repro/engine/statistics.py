@@ -67,6 +67,21 @@ class EvalStats:
     #: be compiled (order-dependent shape) or a ``columnar`` fault was
     #: injected (engine-variant).
     columnar_fallbacks: int = 0
+    #: Rule bodies ordered by the cost model's DP search (0 with
+    #: ``--no-cost-planner``, on a prepared-cache hit — the cached
+    #: plans carry no new costing work — and for bodies the model
+    #: declined to the greedy rung).  Engine-variant: it measures
+    #: which planner ran, not how much join work was done.
+    plans_costed: int = 0
+    #: Adaptive replan events: a recursive fixpoint re-ranked its delta
+    #: plans from observed round cardinalities
+    #: (``EngineOptions.replan_rounds``; engine-variant).
+    replans: int = 0
+    #: Largest factor by which a decayed frontier-cardinality estimate
+    #: exceeded the next observed frontier (1.0 = perfect prediction;
+    #: 0.0 = no prediction was ever checked).  Merged with ``max``,
+    #: engine-variant.
+    bound_overestimate_max: float = 0.0
     #: Evaluation units run by the SCC scheduler (0 with ``--no-scc``).
     units_scheduled: int = 0
     #: Units that executed in a parallel batch (same condensation
@@ -157,6 +172,10 @@ class EvalStats:
         if other.dict_size > self.dict_size:
             self.dict_size = other.dict_size
         self.columnar_fallbacks += other.columnar_fallbacks
+        self.plans_costed += other.plans_costed
+        self.replans += other.replans
+        if other.bound_overestimate_max > self.bound_overestimate_max:
+            self.bound_overestimate_max = other.bound_overestimate_max
         self.units_scheduled += other.units_scheduled
         self.units_parallel += other.units_parallel
         self.unit_early_exits += other.unit_early_exits
@@ -200,6 +219,9 @@ class EvalStats:
             "batch_rows": self.batch_rows,
             "dict_size": self.dict_size,
             "columnar_fallbacks": self.columnar_fallbacks,
+            "plans_costed": self.plans_costed,
+            "replans": self.replans,
+            "bound_overestimate_max": self.bound_overestimate_max,
             "units_scheduled": self.units_scheduled,
             "units_parallel": self.units_parallel,
             "unit_early_exits": self.unit_early_exits,
@@ -224,6 +246,12 @@ class EvalStats:
             del out["batch_rows"]
             del out["dict_size"]
             del out["columnar_fallbacks"]
+            # the planner counters measure which planner ran (and how
+            # often it re-ranked), not how much join work resulted;
+            # prepared-cache hits alone make them configuration-variant
+            del out["plans_costed"]
+            del out["replans"]
+            del out["bound_overestimate_max"]
             # faulted degradations name the rung actually taken, which
             # legitimately differs between engine configurations
             del out["degradations"]
@@ -244,6 +272,11 @@ class EvalStats:
             line += (
                 f" batches={self.batch_probes} batch_rows={self.batch_rows} "
                 f"dict={self.dict_size} col_fallbacks={self.columnar_fallbacks}"
+            )
+        if self.plans_costed or self.replans:
+            line += (
+                f" plans_costed={self.plans_costed} replans={self.replans} "
+                f"overest={self.bound_overestimate_max:.1f}"
             )
         if self.incremental_updates:
             line += (

@@ -1,6 +1,6 @@
 """Per-code trigger and non-trigger tests for every program lint.
 
-Each diagnostic code DL001–DL016 gets at least one program that
+Each diagnostic code DL001–DL017 gets at least one program that
 produces it and one near-identical program that must not.
 """
 
@@ -250,6 +250,54 @@ class TestDL016DictionaryOverhead:
     def test_repeated_constants_count_once(self):
         rules = "\n".join("hit() :- item(1)." for _ in range(40))
         assert "DL016" not in codes(f"{rules}\n?- hit().")
+
+
+class TestDL017BoundBlowup:
+    def test_needed_cross_product_triggers(self):
+        d = diag_for(
+            "q(X, Y) :- a(X, Z), b(Y, W).\n?- q(X, Y).", "DL017"
+        )
+        assert d.severity is Severity.WARNING
+        assert d.predicate == "q"
+
+    def test_long_weak_chain_triggers(self):
+        body = ", ".join(
+            f"e(V{i}, V{i + 1})" for i in range(5)
+        )
+        assert "DL017" in codes(f"q(V0, V5) :- {body}.\n?- q(X, Y).")
+
+    def test_transitive_closure_clean(self):
+        assert "DL017" not in codes(CLEAN)
+
+    def test_same_generation_clean(self):
+        assert "DL017" not in codes(
+            """
+            sg(X, Y) :- flat(X, Y).
+            sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).
+            ?- sg(1, Y).
+            """
+        )
+
+    def test_existential_atom_clean(self):
+        # the junk atom's variables feed nothing: the Lemma 3.1 cut
+        # prices the component at one row
+        assert "DL017" not in codes(
+            "q(X) :- a(X, Z), junk(U, V).\n?- q(X)."
+        )
+
+    def test_existential_component_clean(self):
+        # a multi-literal existential component is retired whole by
+        # the component split (DL011), never enumerated as a product
+        assert "DL017" not in codes(
+            "q(X) :- a(X, Z), b(U, W), c(W, V).\n?- q(X)."
+        )
+
+    def test_error_program_suppresses(self):
+        # opportunity lints are gated on an error-free program
+        assert "DL017" not in codes(
+            "q(X, Y) :- a(X, Z), b(Y, W), c(Q).\n?- q(X, Y)."
+            + "\nc(A, B) :- a(A, B)."
+        )
 
 
 class TestReportShape:

@@ -269,6 +269,28 @@ class TestPreparedCache:
         assert stats["misses"] == 2
         assert stats["entries"] == 2
 
+    def test_same_size_bucket_hits(self):
+        """The key carries log-bucketed sizes, not exact counts: two
+        EDBs in the same power-of-two bucket provably get identical
+        plans, so a few inserted rows must not evict the preparation."""
+        clear_prepared_cache()
+        IncrementalSession(parse(TC), Database.from_dict({"edge": chain(100)}))
+        IncrementalSession(parse(TC), Database.from_dict({"edge": chain(101)}))
+        stats = prepared_cache_stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] >= 1
+        assert stats["entries"] == 1
+
+    def test_bucket_boundary_misses(self):
+        """Crossing a bucket boundary changes the planning inputs, so
+        the cache must miss rather than reuse a stale order."""
+        clear_prepared_cache()
+        IncrementalSession(parse(TC), Database.from_dict({"edge": chain(127)}))
+        IncrementalSession(parse(TC), Database.from_dict({"edge": chain(128)}))
+        stats = prepared_cache_stats()
+        assert stats["misses"] == 2
+        assert stats["entries"] == 2
+
     def test_per_batch_options_can_be_swapped(self, tc_session):
         """session.options governs *subsequent* batches — swapping in a
         tighter budget mid-session applies per batch (used heavily by

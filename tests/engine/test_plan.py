@@ -30,6 +30,26 @@ class TestOrderBody:
         plans = order_body(r.body)
         assert plans[0].atom.predicate == "a"
 
+    def test_tie_break_contract_is_body_index_not_name(self):
+        """The documented contract: an exact score tie goes to the
+        smallest body index — textual order, never predicate name."""
+        r = parse_rule("h(X) :- zz(X, Y), aa(X, Z).")
+        plans = order_body(r.body)
+        assert [p.atom.predicate for p in plans] == ["zz", "aa"]
+
+    def test_cost_model_tie_break_original_order(self):
+        """The DP inherits the same contract: among equal-cost orders
+        the lexicographically smallest index tuple (= original body
+        order) wins, so plans are reproducible run to run."""
+        from repro.engine.cost import BoundCostModel, RelationProfile
+
+        r = parse_rule("h(X) :- zz(X, Y), aa(X, Z).")
+        profile = RelationProfile(15, (1, 1))
+        model = BoundCostModel({"zz": profile, "aa": profile})
+        plans = order_body(r.body, cost_model=model,
+                           needed=frozenset(r.head.args))
+        assert [p.atom.predicate for p in plans] == ["zz", "aa"]
+
     def test_repeated_variable_free_positions(self):
         r = parse_rule("h(X) :- a(X, X).")
         plans = order_body(r.body)

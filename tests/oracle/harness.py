@@ -37,6 +37,16 @@ Strategies covered:
 ``seminaive-scan-interp``
     Scans and the interpreter together — the seed engine's behaviour
     plus scheduling, covering the scan-mode codegen as well.
+``greedy-planner``
+    The scheduled engine with the cost-based join planner disabled
+    (``use_cost_planner=False``, the CLI's ``--no-cost-planner``), so
+    every DP-chosen join order — and every adaptive inter-round
+    replan — is differentially tested against the greedy orders it
+    replaced.
+``eager-replan``
+    The cost planner with re-planning forced on every round
+    (``replan_rounds=1``), stressing the delta-plan swap path as hard
+    as the fixpoint allows.
 ``topdown``
     The tabled top-down (QSQR) evaluator — a completely independent
     implementation; skipped for programs with negation, which it does
@@ -81,6 +91,8 @@ STRATEGIES: dict[str, dict] = {
     "seminaive-interp": {"use_kernels": False},
     "seminaive-scan": {"use_indexes": False},
     "seminaive-scan-interp": {"use_indexes": False, "use_kernels": False},
+    "greedy-planner": {"use_cost_planner": False},
+    "eager-replan": {"replan_rounds": 1},
 }
 
 
@@ -97,6 +109,8 @@ def _base_overrides() -> dict:
             out["use_indexes"] = False
         elif token == "no-columnar":
             out["use_columnar"] = False
+        elif token == "no-cost-planner":
+            out["use_cost_planner"] = False
         elif token.startswith("parallel="):
             out["parallel"] = int(token.split("=", 1)[1])
         else:
