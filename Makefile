@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test oracle faults incremental check bench report lint
+.PHONY: test oracle faults incremental recovery durability check bench report lint
 
 test:  ## tier-1 test suite
 	$(PYTHON) -m pytest -x -q
@@ -14,6 +14,12 @@ faults:  ## robustness suites: governor limits, fault injection, oracle property
 
 incremental:  ## IVM suites: differential maintenance oracle + session properties
 	$(PYTHON) -m pytest tests/oracle/test_incremental.py tests/engine/test_incremental.py -q --hypothesis-seed=0
+
+recovery:  ## crash-recovery oracle: injected crash points x bit-identity to from-scratch
+	$(PYTHON) -m pytest tests/oracle/test_recovery.py -q --hypothesis-seed=0
+
+durability:  ## durable-runtime unit suites: WAL framing, snapshots, recovery rungs, serve CLI
+	$(PYTHON) -m pytest tests/engine/test_durability.py tests/test_cli.py -q
 
 # The gate: tier-1 plus the oracle suite, all Hypothesis runs pinned
 # to a fixed seed so `make check` is reproducible run to run.

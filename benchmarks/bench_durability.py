@@ -1,0 +1,104 @@
+"""Workloads for the durability benchmark (WAL overhead + recovery).
+
+Two claims under measurement, both reported by ``run_report.py
+durability`` into ``BENCH_durability.json``:
+
+**WAL overhead** — appending every accepted batch to the write-ahead
+log must not change what the engine *computes* (identical work counters
+and fact sets vs a non-durable session over the same script), and at
+the default ``fsync=batch`` policy the wall-clock cost per batch should
+stay within ~10% of the non-durable run.  The work-counter equality is
+the hard gate; the 10% wall figure is informational — it depends on
+the filesystem under the bench, not on the engine.
+
+**Recovery speed** — with a snapshot anchoring all but a ~1% tail of
+the update script, :func:`repro.engine.recovery.recover` (snapshot
+load + short WAL replay) should beat re-evaluating the final database
+from scratch by a wide margin.  The hard gate is on join work: the
+replay's join work, times the acceptance factor, must stay below the
+from-scratch join work.  The >= 5x wall-clock speedup is again
+informational.
+
+The script shapes mirror the IVM benchmark's hot-partition regime:
+updates land on a hot chain whose affected cone is a sliver of the
+materialized fixpoint, so the replay tail is genuinely cheap and the
+measurement isolates the durability machinery rather than the
+propagation cost.
+"""
+
+from __future__ import annotations
+
+from repro.datalog import Database, parse
+
+__all__ = ["WORKLOADS", "DurabilityWorkload"]
+
+TC = """
+    tc(X, Y) :- edge(X, Y).
+    tc(X, Y) :- edge(X, Z), tc(Z, Y).
+    ?- tc(X, Y).
+"""
+
+
+def chain(n, offset=0):
+    return [(offset + i, offset + i + 1) for i in range(n)]
+
+
+class DurabilityWorkload:
+    """A program, a base EDB factory, and a deterministic update script
+    of small batches (the serve-loop shape the WAL sits under)."""
+
+    def __init__(self, program, make_db, script):
+        self.program = program
+        self.make_db = make_db
+        #: list of ("insert" | "retract", {pred: [rows]})
+        self.script = script
+
+    def final_rows(self):
+        """Base-fact contents after the whole script (the from-scratch
+        reference database for recovery)."""
+        db = self.make_db()
+        rows = {p: set(db.rows(p)) for p in db.predicates()}
+        for kind, batch in self.script:
+            for pred, batch_rows in batch.items():
+                if kind == "insert":
+                    rows.setdefault(pred, set()).update(map(tuple, batch_rows))
+                else:
+                    rows[pred].difference_update(map(tuple, batch_rows))
+        return rows
+
+
+def tc_serve(n, steps) -> DurabilityWorkload:
+    """TC over four cold n-chains plus a hot tail that the script grows
+    one edge per batch, with a retract of the freshest edge every
+    fourth step — the steady small-batch stream ``repro serve`` sees."""
+    cold, hot = 4, max(4, n // 10)
+    spacing = n + steps + 2
+    hot_offset = cold * spacing
+    edges = [
+        row for j in range(cold) for row in chain(n, offset=j * spacing)
+    ]
+    edges += chain(hot, offset=hot_offset)
+    script = []
+    tip = hot_offset + hot
+    for step in range(steps):
+        if step % 4 == 3:
+            script.append(("retract", {"edge": [(tip - 1, tip)]}))
+            tip -= 1
+        else:
+            script.append(("insert", {"edge": [(tip, tip + 1)]}))
+            tip += 1
+    return DurabilityWorkload(
+        parse(TC),
+        lambda: Database.from_dict({"edge": list(edges)}),
+        script,
+    )
+
+
+def workloads() -> dict[str, DurabilityWorkload]:
+    return {
+        "tc-serve-n120": tc_serve(120, steps=24),
+        "tc-serve-n240": tc_serve(240, steps=24),
+    }
+
+
+WORKLOADS = workloads()

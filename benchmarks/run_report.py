@@ -27,6 +27,7 @@ from repro.engine.topdown import evaluate_topdown
 from repro.rewriting import magic_sets
 
 import bench_columnar as col
+import bench_durability as dur
 import bench_example2_cut as e2
 import bench_example3_projection as e3
 import bench_example6_uqe as e6
@@ -44,6 +45,17 @@ import bench_topdown_vs_magic as td
 #: which exits nonzero if any appear (the paper's "at least as well"
 #: claim, enforced on every regenerated table).
 VIOLATIONS: list[str] = []
+
+#: informational findings — printed at the end but never failing the
+#: build.  Wall-clock ratios live here: they measure the machine under
+#: the bench (CPU, filesystem, thermal state) as much as the engine,
+#: so gating on them makes CI flaky.  Hard gates use work counters
+#: (join work, fact counts), which are machine-independent.
+WARNINGS: list[str] = []
+
+
+def warn(message: str) -> None:
+    WARNINGS.append(message)
 
 
 def check_no_extra_facts(experiment: str, label: str, optimized: int, baseline: int) -> None:
@@ -701,8 +713,15 @@ def report_governor() -> None:
 #: report_incremental()
 INCREMENTAL_JSON = Path(__file__).parent / "BENCH_incremental.json"
 
-#: the acceptance floor: a 1%-update batch must beat a from-scratch
-#: re-evaluation by at least this factor
+#: the acceptance floor, on *work*: a 1%-update batch must do at least
+#: this factor less join work than a from-scratch re-evaluation.  The
+#: measured ratios sit between ~9x (siblings retract, where DRed
+#: overdeletes and rederives) and ~480x, so 5x has headroom without
+#: being vacuous — and unlike wall-clock it cannot flake with the
+#: machine.
+INCREMENTAL_MIN_WORK_RATIO = 5.0
+
+#: the wall-clock expectation (informational only — see WARNINGS)
 INCREMENTAL_MIN_SPEEDUP = 5.0
 
 
@@ -716,9 +735,15 @@ def report_incremental() -> None:
     :class:`IncrementalSession` (session construction excluded — that
     cost is the one-off the session exists to amortize, and the
     prepared-program cache makes repeat constructions cheap anyway).
-    Both sides must land on identical fact sets, checked per run.  A
-    speedup below the x5 acceptance floor is reported through the same
-    gate as the fact-count regressions.
+    Both sides must land on identical fact sets, checked per run.
+
+    The acceptance floor is on join work: the incremental batch must
+    do at least ``INCREMENTAL_MIN_WORK_RATIO`` times less join work
+    than the from-scratch run — a machine-independent gate through the
+    same violation channel as the fact-count regressions.  The x5
+    wall-clock speedup is reported as an informational warning only:
+    on a loaded or slow-I/O CI box the wall ratio flakes while the
+    work ratio cannot.
     """
     from repro.datalog import Database
     from repro.engine import IncrementalSession
@@ -726,9 +751,10 @@ def report_incremental() -> None:
     payload = {
         "_meta": {
             "note": "wall_ms_* are one warmed run on this machine; the "
-            "speedup is the portable quantity (work ratio, not core "
-            "speed).  Update batches are ~1% of the base EDB.",
-            "min_speedup": INCREMENTAL_MIN_SPEEDUP,
+            "speedup is informational; the acceptance gate is the "
+            "join-work ratio.  Update batches are ~1% of the base EDB.",
+            "min_speedup_informational": INCREMENTAL_MIN_SPEEDUP,
+            "min_work_ratio": INCREMENTAL_MIN_WORK_RATIO,
         }
     }
     baseline = load_baseline(INCREMENTAL_JSON)
@@ -762,17 +788,27 @@ def report_incremental() -> None:
                     f"{pred}"
                 )
             speedup = ms_scratch / max(ms_inc, 1e-6)
-            if speedup < INCREMENTAL_MIN_SPEEDUP:
-                VIOLATIONS.append(
-                    f"incremental: {family}/{kind} speedup x{speedup:.1f} "
-                    f"is below the x{INCREMENTAL_MIN_SPEEDUP:.0f} "
-                    f"acceptance floor"
-                )
             stats = session.last_stats
+            work_ratio = scratch.stats.join_work / max(1, stats.join_work)
+            if work_ratio < INCREMENTAL_MIN_WORK_RATIO:
+                VIOLATIONS.append(
+                    f"incremental: {family}/{kind} join-work ratio "
+                    f"x{work_ratio:.1f} is below the "
+                    f"x{INCREMENTAL_MIN_WORK_RATIO:.0f} acceptance floor"
+                )
+            if speedup < INCREMENTAL_MIN_SPEEDUP:
+                warn(
+                    f"incremental: {family}/{kind} wall-clock speedup "
+                    f"x{speedup:.1f} is below the informational "
+                    f"x{INCREMENTAL_MIN_SPEEDUP:.0f} expectation "
+                    f"(work ratio x{work_ratio:.1f} is the gate)"
+                )
             payload[family][kind] = {
                 "wall_ms_incremental": round(ms_inc, 3),
                 "wall_ms_scratch": round(ms_scratch, 3),
                 "speedup": round(speedup, 2),
+                "work_ratio": round(work_ratio, 2),
+                "join_work_scratch": scratch.stats.join_work,
                 **stats.as_dict(),
             }
             check_against_baseline(
@@ -780,7 +816,8 @@ def report_incremental() -> None:
             )
             rows.append([
                 family, kind, fmt(ms_scratch), fmt(ms_inc),
-                f"x{speedup:.1f}", stats.facts_derived,
+                f"x{speedup:.1f}", f"x{work_ratio:.0f}",
+                stats.facts_derived,
                 stats.facts_retracted, stats.facts_rederived,
                 f"{stats.units_reactivated}/{stats.units_scheduled}",
             ])
@@ -790,7 +827,7 @@ def report_incremental() -> None:
     table(
         "IVM — incremental maintenance vs from-scratch (1% updates)",
         ["workload", "update", "scratch", "incremental", "speedup",
-         "derived", "retracted", "rederived", "units"],
+         "work win", "derived", "retracted", "rederived", "units"],
         rows,
     )
     print(f"(wrote {INCREMENTAL_JSON.name})")
@@ -892,6 +929,207 @@ def report_planner() -> None:
     print(f"(wrote {PLANNER_JSON.name})")
 
 
+#: machine-readable durability measurement, regenerated by
+#: report_durability()
+DURABILITY_JSON = Path(__file__).parent / "BENCH_durability.json"
+
+#: informational wall expectations (see WARNINGS): WAL overhead per
+#: batch at fsync=batch, and recovery speedup over from-scratch at a
+#: ~1% replay tail
+WAL_MAX_OVERHEAD = 1.10
+RECOVERY_MIN_SPEEDUP = 5.0
+
+#: the hard gate for recovery: replaying the ~1% tail must do at least
+#: this factor less join work than evaluating the final database from
+#: scratch (snapshot load does no joins, so the recovered session's
+#: counters are pure replay work)
+RECOVERY_MIN_WORK_RATIO = 5.0
+
+
+def report_durability() -> None:
+    """WAL overhead and recovery-vs-scratch; writes BENCH_durability.json.
+
+    **Overhead**: the same update script through a plain and a durable
+    session (``fsync=batch``, snapshots off) — the hard gate is that
+    the work counters and fact sets are identical (logging must not
+    change evaluation); wall overhead beyond ~10% is an informational
+    warning.  ``fsync=always`` and ``off`` are measured for the table
+    but ungated: their cost is the filesystem's, not the engine's.
+
+    **Recovery**: a checkpoint anchors all but the script's final ~1%;
+    recovery (snapshot load + tail replay) is compared against
+    evaluating the final database from scratch.  Hard gates: the
+    recovered fact sets match scratch exactly, and the replay join
+    work times the acceptance factor stays below scratch join work.
+    The >= 5x wall speedup is informational.
+    """
+    import os
+    import tempfile
+
+    from repro.datalog import Database
+    from repro.engine import DurabilityConfig, IncrementalSession, recover
+
+    payload = {
+        "_meta": {
+            "note": "hard gates are on work counters (identical work "
+            "under logging; replay work x"
+            f"{RECOVERY_MIN_WORK_RATIO:.0f} below scratch); wall "
+            "overhead and recovery speedup are informational",
+            "wal_max_overhead_informational": WAL_MAX_OVERHEAD,
+            "recovery_min_speedup_informational": RECOVERY_MIN_SPEEDUP,
+            "recovery_min_work_ratio": RECOVERY_MIN_WORK_RATIO,
+        }
+    }
+    overhead_rows = []
+    recovery_rows = []
+
+    def run_script(wl, config):
+        session = IncrementalSession(
+            wl.program, wl.make_db(), durable=config
+        )
+        start = time.perf_counter()
+        for kind, batch in wl.script:
+            if kind == "insert":
+                session.insert(batch)
+            else:
+                session.retract(batch)
+        ms = (time.perf_counter() - start) * 1000.0
+        return ms, session
+
+    for family, wl in dur.WORKLOADS.items():
+        payload[family] = {}
+        with tempfile.TemporaryDirectory() as d:
+
+            def cfg(name, fsync):
+                return DurabilityConfig(
+                    wal_path=os.path.join(d, f"{name}.wal"),
+                    fsync=fsync,
+                    snapshot_every=0,
+                )
+
+            run_script(wl, None)  # warm-up (indexes, kernels, caches)
+            ms_plain, plain = run_script(wl, None)
+            configs = {
+                "fsync=batch": cfg("batch", "batch"),
+                "fsync=always": cfg("always", "always"),
+                "fsync=off": cfg("off", "off"),
+            }
+            for label, config in configs.items():
+                ms_durable, durable = run_script(wl, config)
+                overhead = ms_durable / max(ms_plain, 1e-6)
+                if durable.stats.join_work != plain.stats.join_work:
+                    VIOLATIONS.append(
+                        f"durability: {family} {label} changed join work "
+                        f"({durable.stats.join_work} vs "
+                        f"{plain.stats.join_work} plain) — logging must "
+                        f"not change evaluation"
+                    )
+                for pred in wl.program.idb_predicates():
+                    if durable.facts(pred) != plain.facts(pred):
+                        VIOLATIONS.append(
+                            f"durability: {family} {label} diverged from "
+                            f"the plain session on {pred}"
+                        )
+                if label == "fsync=batch" and overhead > WAL_MAX_OVERHEAD:
+                    warn(
+                        f"durability: {family} WAL overhead at "
+                        f"fsync=batch is x{overhead:.2f} (informational "
+                        f"expectation <= x{WAL_MAX_OVERHEAD:.2f})"
+                    )
+                payload[family][label] = {
+                    "wall_ms_plain": round(ms_plain, 3),
+                    "wall_ms_durable": round(ms_durable, 3),
+                    "overhead": round(overhead, 3),
+                    "wal_bytes": os.path.getsize(config.wal_path),
+                    **durable.stats.as_dict(),
+                }
+                overhead_rows.append([
+                    family, label, fmt(ms_plain), fmt(ms_durable),
+                    f"x{overhead:.2f}", durable.stats.wal_appends,
+                    os.path.getsize(config.wal_path),
+                ])
+                durable.close()
+
+            # recovery: checkpoint before the final ~1% of batches
+            config = cfg("recover", "batch")
+            tail = max(1, len(wl.script) // 100)
+            session = IncrementalSession(
+                wl.program, wl.make_db(), durable=config
+            )
+            for kind, batch in wl.script[:-tail]:
+                getattr(session, kind)(batch)
+            session.checkpoint()
+            for kind, batch in wl.script[-tail:]:
+                getattr(session, kind)(batch)
+            session.close()
+
+            final_db = Database.from_dict(
+                {p: sorted(r) for p, r in wl.final_rows().items() if r}
+            )
+            ms_scratch, scratch = timed(
+                lambda d=final_db, p=wl.program: evaluate(p, d)
+            )
+            start = time.perf_counter()
+            recovered, rec_report = recover(wl.program, config)
+            ms_recover = (time.perf_counter() - start) * 1000.0
+            for pred in wl.program.idb_predicates():
+                if recovered.facts(pred) != scratch.db.rows(pred):
+                    VIOLATIONS.append(
+                        f"durability: {family} recovery diverged from "
+                        f"scratch on {pred}"
+                    )
+            replay_work = recovered.stats.join_work
+            work_ratio = scratch.stats.join_work / max(1, replay_work)
+            speedup = ms_scratch / max(ms_recover, 1e-6)
+            if work_ratio < RECOVERY_MIN_WORK_RATIO:
+                VIOLATIONS.append(
+                    f"durability: {family} recovery join-work ratio "
+                    f"x{work_ratio:.1f} is below the "
+                    f"x{RECOVERY_MIN_WORK_RATIO:.0f} acceptance floor"
+                )
+            if speedup < RECOVERY_MIN_SPEEDUP:
+                warn(
+                    f"durability: {family} recovery speedup x{speedup:.1f} "
+                    f"is below the informational "
+                    f"x{RECOVERY_MIN_SPEEDUP:.0f} expectation "
+                    f"(work ratio x{work_ratio:.1f} is the gate)"
+                )
+            payload[family]["recovery"] = {
+                "wall_ms_scratch": round(ms_scratch, 3),
+                "wall_ms_recover": round(ms_recover, 3),
+                "speedup": round(speedup, 2),
+                "work_ratio": round(work_ratio, 2),
+                "join_work_scratch": scratch.stats.join_work,
+                "join_work_replay": replay_work,
+                "replayed_batches": rec_report.replayed_batches,
+                "snapshot_seq": rec_report.snapshot_seq,
+                "source": rec_report.source,
+            }
+            recovery_rows.append([
+                family, fmt(ms_scratch), fmt(ms_recover),
+                f"x{speedup:.1f}", f"x{work_ratio:.0f}",
+                rec_report.replayed_batches, rec_report.source,
+            ])
+            recovered.close()
+
+    with open(DURABILITY_JSON, "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.write("\n")
+    table(
+        "DUR — WAL overhead per update script (snapshots off)",
+        ["workload", "policy", "plain", "durable", "overhead",
+         "appends", "wal bytes"],
+        overhead_rows,
+    )
+    table(
+        "DUR — recovery (snapshot + ~1% replay tail) vs from-scratch",
+        ["workload", "scratch", "recover", "speedup", "work win",
+         "replayed", "source"],
+        recovery_rows,
+    )
+    print(f"(wrote {DURABILITY_JSON.name})")
+
+
 REPORTS = {
     "e2": report_e2,
     "e3": report_e3,
@@ -907,6 +1145,7 @@ REPORTS = {
     "scheduler": report_scheduler,
     "governor": report_governor,
     "incremental": report_incremental,
+    "durability": report_durability,
 }
 
 
@@ -917,8 +1156,13 @@ def main(argv: list[str]) -> int:
         print(f"unknown experiment ids: {unknown}; known: {sorted(REPORTS)}", file=sys.stderr)
         return 2
     VIOLATIONS.clear()
+    WARNINGS.clear()
     for c in chosen:
         REPORTS[c]()
+    if WARNINGS:
+        print(file=sys.stderr)
+        for w in WARNINGS:
+            print(f"warning (informational): {w}", file=sys.stderr)
     if VIOLATIONS:
         print(file=sys.stderr)
         for v in VIOLATIONS:

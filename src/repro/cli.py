@@ -164,19 +164,66 @@ def _cmd_serve(args) -> int:
         .last                      last batch's counters (stderr)
         .refresh                   re-run fixpoint (restores exactness
                                    after a partial, governed batch)
+        .checkpoint                force a snapshot + WAL compaction
+                                   (requires --wal)
+        .recover                   reopen the session from disk, as a
+                                   restart would (requires --wal)
         .quit                      exit (EOF also exits)
 
     Each update line is one governed batch: deadlines/budgets from the
-    engine flags apply per batch.  A tripped batch prints an error and
-    leaves the session in a flagged lower-bound state; the session keeps
-    serving and ``.refresh`` restores exactness.
+    engine flags apply per batch.  A tripped batch leaves the session
+    in a flagged lower-bound state; the session keeps serving and
+    ``.refresh`` restores exactness.
+
+    **Error protocol.**  A bad input line — a parse error, an arity
+    mismatch, an undefined predicate, an unknown command — answers with
+    one structured line on **stdout**, ``err <Type>: <message>``, and
+    the session keeps serving with its state (and WAL, when durable)
+    untouched by the rejected line.  Rejection happens before anything
+    reaches the log, so the WAL never records a batch that was not
+    applied.
+
+    With ``--wal`` the session is **durable**: every accepted batch is
+    appended to the write-ahead log before it is applied, and snapshots
+    per ``--snapshot-every``/``--fsync`` bound the replay tail.  If the
+    WAL already exists on startup, the session is *recovered* from it
+    (the facts file is ignored in that case — state comes from disk).
     """
+    import os
+
     program = _load_program(args.program)
     db = _load_facts(args.facts) if args.facts else Database()
     _warn_diagnostics(program, args.program, edb=db.predicates())
     opts = EngineOptions(**_engine_kwargs(args))
+
+    config = None
+    if args.wal:
+        from .engine import DurabilityConfig
+
+        config = DurabilityConfig(
+            wal_path=args.wal,
+            fsync=args.fsync,
+            snapshot_every=args.snapshot_every,
+            on_flag_drift=args.on_flag_drift,
+        )
+
+    def open_session():
+        if config is not None and os.path.exists(config.wal_path):
+            from .engine import recover
+
+            session, report = recover(program, config, opts)
+            print(
+                f"recovered source={report.source} "
+                f"snapshot_seq={report.snapshot_seq} "
+                f"replayed={report.replayed_batches} "
+                f"recovery_ms={report.recovery_ms:.1f}",
+                file=sys.stderr,
+            )
+            return session
+        return IncrementalSession(program, db, opts, durable=config)
+
     try:
-        session = IncrementalSession(program, db, opts)
+        session = open_session()
     except ResourceExhausted as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_RESOURCE_EXHAUSTED
@@ -187,57 +234,94 @@ def _cmd_serve(args) -> int:
             raise ReproError(
                 "update batches must contain only ground facts"
             )
+        unknown = sorted(
+            {f.predicate for f in facts} - session.known_predicates()
+        )
+        if unknown:
+            raise ReproError(
+                f"undefined predicate(s) {', '.join(unknown)}: not in "
+                f"the program or the loaded EDB"
+            )
         return facts
 
+    from .engine import WalCrash
+
     print(f"ready {session.stats.summary()}", file=sys.stderr)
-    for raw in args.input if args.input is not None else sys.stdin:
-        line = raw.strip()
-        try:
-            if not line or line.startswith("%"):
-                continue
-            if line in (".quit", ".exit"):
-                break
-            if line == ".stats":
-                print(f"-- {session.stats.summary()}", file=sys.stderr)
-                continue
-            if line == ".last":
-                print(f"-- {session.last_stats.summary()}", file=sys.stderr)
-                continue
-            if line == ".refresh":
-                batch = session.refresh()
-                print(f"ok {batch.summary()}")
-                continue
-            if line == "?" or line.startswith("? "):
-                pred = line[1:].strip()
-                rows = session.facts(pred) if pred else session.answers()
-                for row in sorted(rows, key=repr):
-                    print(", ".join(map(str, row)))
-                if session.is_partial:
+    try:
+        for raw in args.input if args.input is not None else sys.stdin:
+            line = raw.strip()
+            try:
+                if not line or line.startswith("%"):
+                    continue
+                if line in (".quit", ".exit"):
+                    break
+                if line == ".stats":
+                    print(f"-- {session.stats.summary()}", file=sys.stderr)
+                    continue
+                if line == ".last":
+                    print(f"-- {session.last_stats.summary()}", file=sys.stderr)
+                    continue
+                if line == ".refresh":
+                    batch = session.refresh()
+                    print(f"ok {batch.summary()}")
+                    continue
+                if line == ".checkpoint":
+                    if not session.durable:
+                        raise ReproError(".checkpoint requires --wal")
+                    seq = session.checkpoint()
+                    print(f"ok checkpoint seq={seq}")
+                    continue
+                if line == ".recover":
+                    if config is None:
+                        raise ReproError(".recover requires --wal")
+                    from .engine import recover
+
+                    session.close()
+                    session, report = recover(program, config, opts)
                     print(
-                        "-- PARTIAL RESULT (lower bound): a previous "
-                        "batch was aborted; run .refresh",
-                        file=sys.stderr,
+                        f"ok recovered source={report.source} "
+                        f"replayed={report.replayed_batches}"
                     )
-                continue
-            if line[0] in "+-":
-                facts = parse_batch(line[1:])
-                if line[0] == "+":
-                    batch = session.insert(facts)
-                else:
-                    batch = session.retract(facts)
-                partial = " PARTIAL" if session.is_partial else ""
-                print(f"ok{partial} {batch.summary()}")
-                continue
-            raise ReproError(f"unrecognized command: {line!r}")
-        except ResourceExhausted as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            print(
-                "-- session state is a sound lower bound; .refresh "
-                "restores exactness",
-                file=sys.stderr,
-            )
-        except ReproError as exc:
-            print(f"error: {exc}", file=sys.stderr)
+                    continue
+                if line == "?" or line.startswith("? "):
+                    pred = line[1:].strip()
+                    rows = session.facts(pred) if pred else session.answers()
+                    for row in sorted(rows, key=repr):
+                        print(", ".join(map(str, row)))
+                    if session.is_partial:
+                        print(
+                            "-- PARTIAL RESULT (lower bound): a previous "
+                            "batch was aborted; run .refresh",
+                            file=sys.stderr,
+                        )
+                    continue
+                if line[0] in "+-":
+                    facts = parse_batch(line[1:])
+                    if line[0] == "+":
+                        batch = session.insert(facts)
+                    else:
+                        batch = session.retract(facts)
+                    partial = " PARTIAL" if session.is_partial else ""
+                    print(f"ok{partial} {batch.summary()}")
+                    continue
+                raise ReproError(f"unrecognized command: {line!r}")
+            except WalCrash:
+                # an injected crash is a crash: no structured reply, no
+                # orderly shutdown — recovery is the test's next move
+                raise
+            except ResourceExhausted as exc:
+                print(f"err ResourceExhausted: {exc}")
+                print(
+                    "-- session state is a sound lower bound; .refresh "
+                    "restores exactness",
+                    file=sys.stderr,
+                )
+            except ReproError as exc:
+                print(f"err {type(exc).__name__}: {exc}")
+            except Exception as exc:  # noqa: BLE001 - serve must survive any bad line
+                print(f"err {type(exc).__name__}: {exc}")
+    finally:
+        session.close()
     return 0
 
 
@@ -358,6 +442,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="optional initial EDB fact file (default: empty)",
     )
     _add_engine_flags(p_serve)
+    p_serve.add_argument(
+        "--wal",
+        default=None,
+        metavar="PATH",
+        help="make the session durable: write-ahead-log every accepted "
+        "batch to PATH and keep columnar snapshots next to it; if PATH "
+        "already exists the session is recovered from it on startup "
+        "(the facts file is ignored then)",
+    )
+    p_serve.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=64,
+        metavar="N",
+        help="with --wal, snapshot + compact the log every N accepted "
+        "batches (0 = only on .checkpoint; default 64)",
+    )
+    p_serve.add_argument(
+        "--fsync",
+        choices=("always", "batch", "off"),
+        default="batch",
+        help="with --wal, the log's durability/latency trade-off: "
+        "'always' fsyncs every record (survives power loss), 'batch' "
+        "flushes every record (survives process death; default), 'off' "
+        "leaves flushing to the OS",
+    )
+    p_serve.add_argument(
+        "--on-flag-drift",
+        choices=("refuse", "scratch"),
+        default="refuse",
+        help="with --wal, what recovery does when the log was written "
+        "under different engine flags: 'refuse' (default) fails with a "
+        "structured RecoveryError; 'scratch' re-evaluates from the "
+        "reconstructed base facts (slower, never wrong)",
+    )
     p_serve.set_defaults(fn=_cmd_serve, input=None)
 
     p_lint = sub.add_parser(

@@ -10,8 +10,10 @@ from .ast import Atom, Program, Rule, Span, atom, rule
 from .database import Database, Relation
 from .errors import (
     ArityError,
+    DurabilityError,
     EvaluationError,
     ParseError,
+    RecoveryError,
     ReproError,
     SafetyError,
     TransformError,
@@ -52,5 +54,7 @@ __all__ = [
     "ArityError",
     "SafetyError",
     "EvaluationError",
+    "DurabilityError",
+    "RecoveryError",
     "TransformError",
 ]

@@ -144,6 +144,26 @@ class Relation:
         """Insert many rows; return the number actually added."""
         return sum(1 for row in rows if self.add(tuple(row)))
 
+    def bulk_load(self, rows: Iterable[Row]) -> int:
+        """Fill an **empty** relation in one pass — the snapshot-restore
+        fast path: rows land directly in the raw set with no per-row
+        index or columnar upkeep (nothing derived exists yet to
+        maintain; indexes and the columnar image build lazily later).
+        """
+        if self._rows or self._raw_dirty or self._indexes or self._store is not None:
+            raise ValidationError("bulk_load requires an empty relation")
+        loaded = set(map(tuple, rows))
+        arity = self.arity
+        for row in loaded:
+            if len(row) != arity:
+                raise ArityError(
+                    f"row of length {len(row)} bulk-loaded into relation "
+                    f"of arity {arity}"
+                )
+        self._rows = loaded
+        self._version += 1
+        return len(loaded)
+
     def discard(self, row: Row) -> bool:
         """Remove *row*; return True iff it was present.
 

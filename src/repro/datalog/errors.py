@@ -51,6 +51,37 @@ class EvaluationError(ReproError):
     """
 
 
+class DurabilityError(ReproError):
+    """Raised on the *write* side of the durable session runtime: an
+    invalid durability configuration, a value the WAL/snapshot codec
+    cannot round-trip, or a snapshot that failed to serialize.  Always
+    raised before any partial record reaches the log, so a
+    ``DurabilityError`` never leaves the WAL inconsistent.
+    """
+
+
+class RecoveryError(ReproError):
+    """Raised when crash recovery **refuses** to rebuild a session from
+    its WAL and snapshots: a mid-log checksum mismatch, a batch
+    sequence gap, a program or engine-flag signature drift, or no valid
+    snapshot to anchor replay.  Structured: :attr:`reason` is a stable
+    machine-readable code and :attr:`record` names the offending WAL
+    sequence number (or snapshot path) when one exists.  Refusal is the
+    point — recovery never silently returns a state it cannot prove
+    equal to a from-scratch evaluation.
+    """
+
+    def __init__(self, reason: str, message: str, record=None):
+        #: stable reason code, e.g. ``"checksum-mismatch"``,
+        #: ``"sequence-gap"``, ``"flag-drift"``, ``"program-drift"``,
+        #: ``"no-valid-snapshot"``, ``"bad-header"``
+        self.reason = reason
+        #: the WAL record sequence number / snapshot path involved
+        self.record = record
+        where = f" (record {record})" if record is not None else ""
+        super().__init__(f"recovery refused [{reason}]{where}: {message}")
+
+
 class TransformError(ReproError):
     """Raised when an optimizer phase is applied to a program that does
     not satisfy the phase's preconditions (e.g. projection pushing on a

@@ -23,8 +23,18 @@ from .cost import (
     profile_database,
     rule_intermediate_bound,
 )
+from .durability import (
+    DurabilityConfig,
+    DurableLog,
+    WriteAheadLog,
+    flag_signature,
+    list_snapshots,
+    load_snapshot,
+    read_wal,
+)
 from .evaluator import EngineOptions, EvalResult, answers_of, evaluate
 from .incremental import IncrementalSession
+from .recovery import RecoveryReport, recover
 from .prepared import (
     PreparedProgram,
     clear_prepared_cache,
@@ -32,11 +42,13 @@ from .prepared import (
     prepared_cache_stats,
 )
 from .faults import (
+    WAL_CRASH_POINTS,
     FaultInjector,
     FaultPlan,
     InjectedFault,
     InjectedUnitError,
     SchedulerFault,
+    WalCrash,
     WorkerDeath,
     parse_fault_specs,
 )
@@ -60,6 +72,17 @@ __all__ = [
     "evaluate",
     "answers_of",
     "IncrementalSession",
+    "DurabilityConfig",
+    "DurableLog",
+    "WriteAheadLog",
+    "flag_signature",
+    "read_wal",
+    "load_snapshot",
+    "list_snapshots",
+    "recover",
+    "RecoveryReport",
+    "WalCrash",
+    "WAL_CRASH_POINTS",
     "PreparedProgram",
     "prepare",
     "prepared_cache_stats",

@@ -53,6 +53,19 @@ Fault kinds and the degradation they exercise:
     The N-th scheduled unit sleeps at its start and at every iteration
     boundary — a deterministic way to make a deadline fire inside a
     chosen unit.
+``wal-crash:POINT[:SEQ]``
+    Simulated process death at a chosen durability crash point
+    (:mod:`repro.engine.durability`): the injector performs exactly the
+    disk damage a real crash at that point leaves behind, then raises
+    :class:`WalCrash`, which the session deliberately does **not**
+    catch — the "process" is dead, and the test recovers from the
+    files.  POINT is ``before-append`` (nothing written),
+    ``after-append`` (record durable, in-memory apply never ran),
+    ``torn-record`` (a half-written final record), ``mid-snapshot`` (a
+    partial snapshot temp file, never renamed) or
+    ``truncated-snapshot`` (a renamed snapshot with its tail cut off).
+    SEQ pins the crash to one WAL batch sequence number; without it the
+    first reached site fires.
 
 The soundness contract (asserted by ``tests/oracle/test_faults.py``):
 under any fault plan a run either returns the exact un-faulted answer
@@ -76,8 +89,22 @@ __all__ = [
     "WorkerDeath",
     "SchedulerFault",
     "InjectedUnitError",
+    "WalCrash",
+    "WAL_CRASH_POINTS",
     "parse_fault_specs",
 ]
+
+#: the durability crash points ``wal-crash`` can simulate (see the
+#: module docstring and :mod:`repro.engine.durability`)
+WAL_CRASH_POINTS = frozenset(
+    {
+        "before-append",
+        "after-append",
+        "torn-record",
+        "mid-snapshot",
+        "truncated-snapshot",
+    }
+)
 
 
 class InjectedFault(EvaluationError):
@@ -95,6 +122,14 @@ class SchedulerFault(InjectedFault):
     """SCC scheduling failed before any unit ran.  Recoverable: the
     evaluator re-runs the strata through the monolithic loop and
     records an ``scc->monolithic`` degradation."""
+
+
+class WalCrash(InjectedFault):
+    """Simulated process death at a durability crash point.  *Not*
+    recoverable in-process: the session lets it propagate with the
+    batch half-done, exactly like a real kill, and correctness is
+    re-established by :func:`repro.engine.recovery.recover` from the
+    on-disk WAL and snapshots."""
 
 
 class InjectedUnitError(RuntimeError):
@@ -128,11 +163,22 @@ class FaultPlan:
     slow_unit: Optional[int] = None
     #: sleep per boundary for ``slow_unit`` (seconds)
     slow_s: float = 0.05
+    #: durability crash point (one of :data:`WAL_CRASH_POINTS`), fired
+    #: once per run as :class:`WalCrash` after the simulated damage
+    wal_crash: Optional[str] = None
+    #: WAL batch sequence number the crash is pinned to (None = the
+    #: first site reached)
+    wal_crash_seq: Optional[int] = None
 
     def __post_init__(self):
         object.__setattr__(self, "kernel_compile", frozenset(self.kernel_compile))
         if self.slow_s < 0:
             raise ValueError(f"slow_s must be >= 0, got {self.slow_s}")
+        if self.wal_crash is not None and self.wal_crash not in WAL_CRASH_POINTS:
+            raise ValueError(
+                f"unknown wal-crash point {self.wal_crash!r}; expected one "
+                f"of {sorted(WAL_CRASH_POINTS)}"
+            )
 
     def any(self) -> bool:
         """True iff at least one fault is armed."""
@@ -144,6 +190,7 @@ class FaultPlan:
             or self.worker_death is not None
             or self.unit_error is not None
             or self.slow_unit is not None
+            or self.wal_crash is not None
         )
 
 
@@ -152,14 +199,22 @@ def parse_fault_specs(specs: Iterable[str]) -> FaultPlan:
 
     Accepted forms: ``columnar``, ``kernel-compile``,
     ``kernel-compile:PRED``, ``index-build``, ``scheduler``,
-    ``worker-death:N``, ``unit-error:N``, ``slow-unit:N`` and
-    ``slow-unit:N:SECONDS``.  Specs merge left to right into one plan.
+    ``worker-death:N``, ``unit-error:N``, ``slow-unit:N``,
+    ``slow-unit:N:SECONDS``, ``wal-crash:POINT`` and
+    ``wal-crash:POINT:SEQ``.  Specs merge left to right into one plan.
     """
     plan = FaultPlan()
     for spec in specs:
         kind, _, rest = spec.partition(":")
         try:
-            if kind == "kernel-compile":
+            if kind == "wal-crash":
+                point, _, seq = rest.partition(":")
+                if point not in WAL_CRASH_POINTS:
+                    raise ValueError
+                plan = replace(plan, wal_crash=point)
+                if seq:
+                    plan = replace(plan, wal_crash_seq=int(seq))
+            elif kind == "kernel-compile":
                 plan = replace(
                     plan,
                     kernel_compile=plan.kernel_compile | {rest or "*"},
@@ -185,7 +240,9 @@ def parse_fault_specs(specs: Iterable[str]) -> FaultPlan:
             raise EvaluationError(
                 f"unknown fault spec {spec!r}; expected columnar, "
                 f"kernel-compile[:pred], index-build, scheduler, "
-                f"worker-death:N, unit-error:N, or slow-unit:N[:seconds]"
+                f"worker-death:N, unit-error:N, slow-unit:N[:seconds], "
+                f"or wal-crash:POINT[:seq] with POINT one of "
+                f"{sorted(WAL_CRASH_POINTS)}"
             ) from None
     return plan
 
@@ -246,6 +303,18 @@ class FaultInjector:
         """Sleep if *ordinal* is the plan's slow unit (every boundary)."""
         if ordinal is not None and self.plan.slow_unit == ordinal:
             time.sleep(self.plan.slow_s)
+
+    def wal_crash_fires(self, point: str, seq: int) -> bool:
+        """Should the durability layer simulate a crash at *point* for
+        WAL batch *seq*?  Fires at most once per injector (the process
+        only dies once); the caller performs the simulated disk damage
+        and raises :class:`WalCrash`."""
+        plan = self.plan
+        if plan.wal_crash != point:
+            return False
+        if plan.wal_crash_seq is not None and plan.wal_crash_seq != seq:
+            return False
+        return self._once(("wal-crash",))
 
     # -- bookkeeping ---------------------------------------------------------
 

@@ -149,6 +149,8 @@ class IncrementalSession:
         program: Program,
         edb: Database,
         options: Optional[EngineOptions] = None,
+        *,
+        durable=None,
     ):
         opts = options or EngineOptions()
         result = evaluate(program, edb, opts)
@@ -184,7 +186,74 @@ class IncrementalSession:
             grouped.setdefault(pred, set()).add(row)
         self._fact_rows = {p: frozenset(rows) for p, rows in grouped.items()}
         self._dirty = result.is_partial
+        self._wire_schedule()
+        #: the durability runtime (WAL + snapshots), None for the
+        #: default in-memory session
+        self._durable = None
+        if durable is not None:
+            from .durability import DurabilityConfig, DurableLog
 
+            if isinstance(durable, (str, bytes)) or hasattr(durable, "__fspath__"):
+                durable = DurabilityConfig(wal_path=str(durable))
+            self._durable = DurableLog.create(durable, self)
+
+    @classmethod
+    def _restore(
+        cls,
+        program: Program,
+        db: Database,
+        initial: Mapping[str, Iterable[tuple]],
+        options: Optional[EngineOptions] = None,
+    ) -> "IncrementalSession":
+        """Build a session directly over an already-materialized
+        database — the recovery path: the fixpoint comes from a
+        snapshot, so no evaluation runs here.  The caller owns *db*
+        (nothing is shared copy-on-write) and vouches that it **is**
+        the program's least fixpoint over its base facts; *initial* is
+        the snapshot's given-IDB row map (the session ``_initial``)."""
+        from .cost import BoundCostModel
+        from .prepared import prepare
+
+        self = object.__new__(cls)
+        opts = options or EngineOptions()
+        # the same prepare() entry evaluate() uses, so the prepared
+        # cache is shared and the plan shape matches a live session's
+        sizes = db.relation_sizes()
+        largest = max(sizes.values(), default=0)
+        for pred in program.idb_predicates():
+            sizes[pred] = max(sizes.get(pred, 0), largest + 1)
+        cost_model = (
+            BoundCostModel.from_database(db, sizes)
+            if opts.use_cost_planner
+            else None
+        )
+        self.program = program
+        self.options = opts
+        self.prepared = prepare(program, sizes, cost_model=cost_model)
+        self.db = db
+        self.provenance = {}
+        stats = EvalStats()
+        self.stats = stats
+        self.last_stats = stats
+        self._idb = program.idb_predicates()
+        self._arities = dict(self.prepared.arities)
+        self._shared = set()
+        self._initial = {
+            p: set(rows) for p, rows in initial.items() if rows
+        }
+        grouped: dict[str, set] = {}
+        for pred, row in self.prepared.fact_rules:
+            grouped.setdefault(pred, set()).add(row)
+        self._fact_rows = {p: frozenset(rows) for p, rows in grouped.items()}
+        self._dirty = False
+        self._wire_schedule()
+        self._durable = None
+        for pred in self._idb:
+            rel = db.relation(pred)
+            stats.fact_counts[pred] = len(rel) if rel is not None else 0
+        return self
+
+    def _wire_schedule(self) -> None:
         # The maintenance schedule: every evaluation unit of every
         # stratum, flattened in global topological order (stratum, then
         # condensation depth, then SCC index).  Maintenance always
@@ -214,7 +283,7 @@ class IncrementalSession:
         for head, deps in info.graph.items():
             for dep in deps:
                 self._rev.setdefault(dep, set()).add(head)
-        self._neg_edges = negative_dependencies(program)
+        self._neg_edges = negative_dependencies(self.program)
         #: per compiled rule: the goal-directed probe (head-rebound
         #: plans + the head's variable tuple when it is all distinct
         #: variables), built lazily on the first retraction hitting it
@@ -248,6 +317,13 @@ class IncrementalSession:
 
     def facts(self, predicate: str) -> frozenset:
         return self.db.rows(predicate)
+
+    def known_predicates(self) -> frozenset:
+        """Every predicate the program or the current database defines
+        — what front ends validate update batches against, so a typo'd
+        predicate is rejected instead of silently creating a relation
+        nothing ever reads."""
+        return frozenset(self._arities) | self.db.predicates()
 
     def result(self) -> EvalResult:
         """A snapshot :class:`~repro.engine.evaluator.EvalResult` over
@@ -304,6 +380,10 @@ class IncrementalSession:
             ) from None
         self._dirty = False
         self._finalize(stats, builds_before)
+        if self._durable is not None:
+            # a snapshot deferred during a partial batch retries here,
+            # now that exactness is restored
+            self._durable.maybe_snapshot(self, stats, governor, None)
         self._absorb(stats)
         return stats
 
@@ -351,6 +431,18 @@ class IncrementalSession:
             else None
         )
         governor = Governor(opts, injector)
+        if self._durable is not None and (additions or deletions):
+            # Write-ahead: the batch is logged before the first byte of
+            # in-memory state changes, so a crash at any later point
+            # replays to exactly the accepted-batch boundary.  A
+            # DurabilityError (unloggable value) is raised before any
+            # bytes hit the log, leaving WAL and state both untouched.
+            self._durable.append_batch(
+                "insert" if additions else "retract",
+                additions or deletions,
+                stats,
+                injector=injector,
+            )
         force_recompute = False
         if injector is not None:
             if injector.index_build_fails():
@@ -388,8 +480,39 @@ class IncrementalSession:
                 exc.reason, stats=stats, unit=exc.unit, stratum=exc.stratum
             ) from None
         self._finalize(stats, builds_before)
+        if self._durable is not None:
+            # after apply, before absorb: a snapshot failure can then
+            # never un-apply the batch, and its counters land in stats
+            self._durable.maybe_snapshot(self, stats, governor, injector)
         self._absorb(stats)
         return stats
+
+    # -- durability ---------------------------------------------------------
+
+    @property
+    def durable(self) -> bool:
+        """True iff this session writes a WAL and snapshots."""
+        return self._durable is not None
+
+    def checkpoint(self) -> int:
+        """Force a snapshot of the current state (then compact the
+        WAL); returns the snapshot's sequence number.  Requires a
+        durable session."""
+        from ..datalog.errors import DurabilityError
+
+        if self._durable is None:
+            raise DurabilityError(
+                "checkpoint() requires a durable session "
+                "(pass durable= to IncrementalSession)"
+            )
+        return self._durable.checkpoint(self, self.stats)
+
+    def close(self) -> None:
+        """Flush and close the durability runtime (no-op for in-memory
+        sessions); the session remains queryable but no longer durable."""
+        if self._durable is not None:
+            self._durable.close()
+            self._durable = None
 
     def _finalize(self, stats: EvalStats, builds_before: int) -> None:
         for pred in self._idb:

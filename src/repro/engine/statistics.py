@@ -116,6 +116,18 @@ class EvalStats:
     #: inputs did not change are skipped, which is the point of
     #: maintaining through the SCC condensation.
     units_reactivated: int = 0
+    #: Write-ahead-log records appended by a durable session (one per
+    #: accepted update batch; 0 for non-durable sessions).
+    wal_appends: int = 0
+    #: WAL batches replayed through the seeded IVM path during
+    #: :func:`~repro.engine.recovery.recover` (0 outside recovery).
+    wal_replays: int = 0
+    #: Columnar snapshots written (baseline, policy-triggered, and
+    #: forced ``.checkpoint`` snapshots all count).
+    snapshots_written: int = 0
+    #: Wall-clock milliseconds spent inside :func:`recover` building
+    #: this session (0 for sessions not born from recovery).
+    recovery_ms: float = 0.0
     #: Governor checkpoints performed (0 unless a limit was set or a
     #: fault armed — the governor is free when idle).
     governor_checks: int = 0
@@ -183,6 +195,10 @@ class EvalStats:
         self.facts_retracted += other.facts_retracted
         self.facts_rederived += other.facts_rederived
         self.units_reactivated += other.units_reactivated
+        self.wal_appends += other.wal_appends
+        self.wal_replays += other.wal_replays
+        self.snapshots_written += other.snapshots_written
+        self.recovery_ms += other.recovery_ms
         self.governor_checks += other.governor_checks
         self.faults_injected += other.faults_injected
         for k, v in other.unit_rounds.items():
@@ -229,6 +245,10 @@ class EvalStats:
             "facts_retracted": self.facts_retracted,
             "facts_rederived": self.facts_rederived,
             "units_reactivated": self.units_reactivated,
+            "wal_appends": self.wal_appends,
+            "wal_replays": self.wal_replays,
+            "snapshots_written": self.snapshots_written,
+            "recovery_ms": self.recovery_ms,
             "unit_rounds": dict(self.unit_rounds),
             "fact_counts": dict(self.fact_counts),
             "governor_checks": self.governor_checks,
@@ -255,6 +275,14 @@ class EvalStats:
             # faulted degradations name the rung actually taken, which
             # legitimately differs between engine configurations
             del out["degradations"]
+            # durability is orthogonal to evaluation semantics: a
+            # durable and a non-durable session over the same updates
+            # must agree on every engine-invariant counter, while these
+            # measure logging/snapshot/recovery work only
+            del out["wal_appends"]
+            del out["wal_replays"]
+            del out["snapshots_written"]
+            del out["recovery_ms"]
         return out
 
     def summary(self) -> str:
@@ -285,6 +313,13 @@ class EvalStats:
                 f"rederived={self.facts_rederived} "
                 f"reactivated={self.units_reactivated}"
             )
+        if self.wal_appends or self.snapshots_written or self.wal_replays:
+            line += (
+                f" wal={self.wal_appends} snaps={self.snapshots_written} "
+                f"replayed={self.wal_replays}"
+            )
+        if self.recovery_ms:
+            line += f" recovery_ms={self.recovery_ms:.1f}"
         if self.faults_injected:
             rungs = ",".join(sorted(self.degradations))
             line += f" faults={self.faults_injected} degraded=[{rungs}]"

@@ -354,3 +354,160 @@ class TestDiagnosticWarnings:
         program, facts, _ = files
         assert main(["run", str(program), str(facts)]) == 0
         assert "DL" not in capsys.readouterr().err
+
+
+def _serve(argv, lines):
+    """Run ``repro serve`` with scripted stdin (the ``input`` hook the
+    parser defaults to None is how tests inject a line source)."""
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    args = parser.parse_args(["serve", *map(str, argv)])
+    args.input = iter([line + "\n" for line in lines])
+    return args.fn(args)
+
+
+class TestServe:
+    def test_basic_batches_and_query(self, files, capsys):
+        program, facts, _ = files
+        rc = _serve([program, facts], ["+edge(3, 9).", "?"])
+        assert rc == 0
+        out = capsys.readouterr().out.splitlines()
+        assert out[0].startswith("ok ")
+        assert sorted(out[1:]) == ["1", "2", "3", "7"]
+
+    def test_malformed_line_is_structured_error(self, files, capsys):
+        """Satellite: garbage must answer ``err ...`` on stdout, and the
+        session must keep serving afterwards — never a crash."""
+        program, facts, _ = files
+        rc = _serve(
+            [program, facts],
+            ["+edge(1, ", "+edge((1,2)).", "!!!", "+edge(3, 9).", "?"],
+        )
+        assert rc == 0
+        out = capsys.readouterr().out.splitlines()
+        assert len([l for l in out if l.startswith("err ")]) == 3
+        assert any(l.startswith("ok ") for l in out)
+        assert "3" in out  # the good batch after the garbage landed
+
+    def test_undefined_predicate_rejected(self, files, capsys):
+        program, facts, _ = files
+        rc = _serve([program, facts], ["+ghost(1).", "?"])
+        assert rc == 0
+        out = capsys.readouterr().out.splitlines()
+        assert out[0].startswith("err ReproError: undefined predicate(s) ghost")
+        assert sorted(out[1:]) == ["1", "2", "7"]
+
+    def test_arity_mismatch_rejected(self, files, capsys):
+        program, facts, _ = files
+        rc = _serve([program, facts], ["+edge(1, 2, 3).", "?"])
+        assert rc == 0
+        out = capsys.readouterr().out.splitlines()
+        assert out[0].startswith("err ")
+        assert "arity" in out[0]
+
+    def test_rule_in_batch_rejected(self, files, capsys):
+        program, facts, _ = files
+        rc = _serve([program, facts], ["+p(X) :- edge(X, Y)."])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "err ReproError: update batches must contain only ground" in out
+
+    def test_unknown_command_rejected(self, files, capsys):
+        program, facts, _ = files
+        rc = _serve([program, facts], [".frobnicate"])
+        assert rc == 0
+        assert "err ReproError: unrecognized command" in capsys.readouterr().out
+
+    def test_checkpoint_requires_wal(self, files, capsys):
+        program, facts, _ = files
+        rc = _serve([program, facts], [".checkpoint", ".recover"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "err ReproError: .checkpoint requires --wal" in out
+        assert "err ReproError: .recover requires --wal" in out
+
+    def test_durable_checkpoint_and_recover(self, files, tmp_path, capsys):
+        program, facts, _ = files
+        wal = tmp_path / "serve.wal"
+        rc = _serve(
+            [program, facts, "--wal", wal],
+            ["+edge(3, 9).", ".checkpoint", ".recover", "?"],
+        )
+        assert rc == 0
+        out = capsys.readouterr().out.splitlines()
+        assert out[0].startswith("ok ")
+        assert out[1] == "ok checkpoint seq=1"
+        assert out[2].startswith("ok recovered source=replay replayed=")
+        assert sorted(out[3:]) == ["1", "2", "3", "7"]
+
+    def test_restart_recovers_state(self, files, tmp_path, capsys):
+        """A second serve over the same --wal resumes exactly where the
+        first exited — the facts file is ignored on recovery."""
+        program, facts, _ = files
+        wal = tmp_path / "serve.wal"
+        assert _serve([program, facts, "--wal", wal], ["+edge(3, 9)."]) == 0
+        capsys.readouterr()
+        assert _serve([program, "--wal", wal], ["?"]) == 0
+        captured = capsys.readouterr()
+        assert sorted(captured.out.splitlines()) == ["1", "2", "3", "7"]
+        assert "recovered source=" in captured.err
+
+    def test_rejected_lines_never_reach_the_wal(self, files, tmp_path, capsys):
+        """WAL consistency under garbage: rejected lines leave no log
+        record, so recovery equals the live session exactly."""
+        program, facts, _ = files
+        wal = tmp_path / "serve.wal"
+        rc = _serve(
+            [program, facts, "--wal", wal],
+            ["+ghost(1).", "+edge(1,", "+edge(3, 9).", "-edge(7, 8)."],
+        )
+        assert rc == 0
+        capsys.readouterr()
+        from repro.engine import read_wal
+
+        records = read_wal(str(wal)).records
+        assert [r["kind"] for r in records] == ["insert", "retract"]
+        assert _serve([program, "--wal", wal], ["?"]) == 0
+        out = capsys.readouterr().out.splitlines()
+        assert sorted(out) == ["1", "2", "3"]
+
+    def test_main_entry_serves_durably(self, files, tmp_path, capsys):
+        """End-to-end through main(): flags parse and thread through."""
+        import repro.cli as cli
+
+        program, facts, _ = files
+        wal = tmp_path / "serve.wal"
+        lines = iter(["+edge(3, 9).\n", ".checkpoint\n", "?\n"])
+        real = cli.build_parser
+
+        def patched():
+            parser = real()
+            original = parser.parse_args
+
+            def parse_args(argv=None):
+                args = original(argv)
+                if getattr(args, "fn", None) is cli._cmd_serve:
+                    args.input = lines
+                return args
+
+            parser.parse_args = parse_args
+            return parser
+
+        cli.build_parser = patched
+        try:
+            rc = main(
+                [
+                    "serve", str(program), str(facts),
+                    "--wal", str(wal),
+                    "--fsync", "always",
+                    "--snapshot-every", "1",
+                    "--on-flag-drift", "scratch",
+                ]
+            )
+        finally:
+            cli.build_parser = real
+        assert rc == 0
+        out = capsys.readouterr().out.splitlines()
+        assert out[0].startswith("ok ")
+        assert "ok checkpoint seq=1" in out
