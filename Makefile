@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test oracle faults incremental recovery durability check bench report lint
+.PHONY: test oracle faults incremental recovery durability check bench report lint analyze
 
 test:  ## tier-1 test suite
 	$(PYTHON) -m pytest -x -q
@@ -31,6 +31,9 @@ lint:  ## static analysis: ruff + mypy over src, repro-lint over workloads
 	$(PYTHON) -m ruff check src tests benchmarks
 	$(PYTHON) -m mypy
 	$(PYTHON) scripts/lint_workloads.py
+
+analyze:  ## abstract-interpretation gate: DL018-DL024 clean over all workloads
+	$(PYTHON) scripts/lint_workloads.py --analyze-only
 
 bench:  ## statistically careful wall-clock benchmarks
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -1,11 +1,20 @@
 #!/usr/bin/env python
-"""Gate: every workload family and paper example is ``lint --strict`` clean.
+"""Gate: every workload family and paper example is static-analysis clean.
 
-Runs :func:`repro.analysis.lint_program` over each generated program
-and fails (exit 1) if any produces an error — or, under strict
-promotion, a warning.  Infos are expected: they are the optimizer
-narrating what it will do (existential positions, boolean subqueries,
-the monadic rewrite).
+Two passes over each generated program:
+
+- :func:`repro.analysis.lint_program` (``repro lint``): no errors —
+  or, under strict promotion, warnings.  Infos are expected: they are
+  the optimizer narrating what it will do (existential positions,
+  boolean subqueries, the monadic rewrite).
+- :func:`repro.analysis.analyze_program` (``repro analyze``): the
+  abstract-interpretation domains must raise **no** DL018–DL024
+  diagnostic at all, infos included.  The workloads are the repo's
+  measurement corpus; a sort conflict, bound blowup, or base-case-less
+  recursion in one of them is a generator bug, not narration.
+
+``--analyze-only`` skips the lint pass (the Makefile's ``analyze``
+target runs it so ``make analyze`` exercises just the new framework).
 """
 
 from __future__ import annotations
@@ -15,24 +24,45 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.analysis import lint_program  # noqa: E402
+from repro.analysis import analyze_program, lint_program  # noqa: E402
 from repro.workloads import paper_examples  # noqa: E402
 from repro.workloads.families import all_families  # noqa: E402
 
+#: the abstract-interpretation codes the analyzer gate forbids outright
+ABSINT_CODES = frozenset(f"DL{i:03d}" for i in range(18, 25))
 
-def main() -> int:
+
+def gate_programs() -> dict:
     programs = dict(all_families())
     programs["paper_example1"] = paper_examples.example1_program()
     programs["paper_example2"] = paper_examples.example2_program()
     programs["paper_example5"] = paper_examples.example5_program()
+    return programs
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    analyze_only = "--analyze-only" in argv
+    programs = gate_programs()
     failed = 0
     for name, program in sorted(programs.items()):
-        report = lint_program(program, source=name)
-        if report.exit_code(strict=True) != 0:
+        if not analyze_only:
+            report = lint_program(program, source=name)
+            if report.exit_code(strict=True) != 0:
+                failed += 1
+                print(f"-- {name}: NOT strict-clean")
+                print(report.render_text())
+        result = analyze_program(program, source=name)
+        flagged = [
+            d for d in result.report.diagnostics if d.code in ABSINT_CODES
+        ]
+        if flagged:
             failed += 1
-            print(f"-- {name}: NOT strict-clean")
-            print(report.render_text())
-    print(f"linted {len(programs)} programs, {failed} failed")
+            print(f"-- {name}: abstract interpretation NOT clean")
+            for diag in flagged:
+                print(f"   {diag.code} {diag.predicate}: {diag.message}")
+    passes = "analyze" if analyze_only else "lint+analyze"
+    print(f"checked {len(programs)} programs ({passes}), {failed} failed")
     return 1 if failed else 0
 
 

@@ -172,6 +172,57 @@ CODES: dict[str, CodeInfo] = {
             "product or a long weakly-connected chain",
             "section 2 adorned bounds; engine cost planner",
         ),
+        _info(
+            "DL018", "empty-join", Severity.WARNING,
+            "sort inference derives an empty value set for a body "
+            "position: the join is statically empty and the rule can "
+            "never fire",
+            "abstract interpretation over the adorned program",
+        ),
+        _info(
+            "DL019", "sort-mismatch", Severity.WARNING,
+            "a variable joins argument positions whose inferred sorts "
+            "are type-disjoint; the unification is ill-typed and "
+            "always fails",
+            "abstract interpretation over the adorned program",
+        ),
+        _info(
+            "DL020", "constant-position", Severity.INFO,
+            "a derived predicate's argument position always carries "
+            "one single constant; a selection could specialize the "
+            "predicate away from that column",
+            "section 3.2 (argument projections)",
+        ),
+        _info(
+            "DL021", "measured-bound-blowup", Severity.WARNING,
+            "a rule's cardinality upper bound blows up under the "
+            "*measured* degree sketches of the loaded EDB: even the "
+            "best join order materializes an intermediate result past "
+            "the blowup threshold on this actual data",
+            "section 2 adorned bounds; measured degree sketches",
+        ),
+        _info(
+            "DL022", "skewed-degree", Severity.INFO,
+            "a measured relation position is dominated by a hub key: "
+            "one value matches a large fraction of the rows, so plans "
+            "binding that position inherit the worst-case fanout",
+            "section 2 adorned bounds; measured degree sketches",
+        ),
+        _info(
+            "DL023", "bounded-recursion", Severity.INFO,
+            "every recursive rule of the component consumes only "
+            "bindings already exposed in its head (no fresh frontier "
+            "variables); the fixpoint closes in a bounded number of "
+            "rounds and a nonrecursive unrolling exists",
+            "Theorem 3.3 (monadic rewrite); boundedness analysis",
+        ),
+        _info(
+            "DL024", "no-base-case", Severity.WARNING,
+            "a recursive component has no derivable non-recursive "
+            "rule: its least fixpoint is provably empty whatever the "
+            "EDB holds",
+            "section 5 (compile-time emptiness)",
+        ),
     )
 }
 

@@ -25,7 +25,7 @@ distinguish "stored relation" from "never defined anywhere".
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import TYPE_CHECKING, Iterable, Mapping, Optional
 
 from ..datalog.analysis import is_chain_program, reachable_predicates
 from ..datalog.ast import Atom, Program, Rule
@@ -33,6 +33,9 @@ from ..datalog.builtins import is_builtin
 from ..datalog.errors import ReproError, ValidationError
 from ..datalog.terms import Variable
 from .diagnostics import CODES, Diagnostic, LintReport, Severity
+
+if TYPE_CHECKING:
+    from ..engine.cost import RelationProfile
 
 __all__ = ["lint_program"]
 
@@ -490,7 +493,11 @@ def _check_adornment_opportunities(program: Program, diags: list) -> None:
 BOUND_BLOWUP_FACTOR = 100
 
 
-def _check_bound_blowup(program: Program, diags: list) -> None:
+def _check_bound_blowup(
+    program: Program,
+    diags: list,
+    profiles: Optional[Mapping[str, "RelationProfile"]] = None,
+) -> None:
     """DL017 — a rule whose *best* join order still blows up.
 
     :func:`repro.engine.cost.rule_intermediate_bound` prices every body
@@ -509,11 +516,25 @@ def _check_bound_blowup(program: Program, diags: list) -> None:
     position the adornment marks ``d`` no longer anchors its body
     component, exactly as projection pushing will evaluate it; without
     a usable adornment the raw rules are priced instead.
+
+    *profiles* (predicate → :class:`RelationProfile`) replaces the
+    synthetic defaults with **measured** statistics for the predicates
+    it covers (``repro lint`` passes the loaded EDB's profile); the
+    threshold then scales with the largest measured relation instead
+    of ``DEFAULT_SIZE``.
     """
     from ..core.adornment import adorn, split_adorned
     from ..engine.cost import DEFAULT_SIZE, rule_intermediate_bound
 
-    threshold = BOUND_BLOWUP_FACTOR * DEFAULT_SIZE
+    if profiles:
+        base_size = max(
+            max((p.size for p in profiles.values()), default=0), 1
+        )
+        basis = "largest measured relation"
+    else:
+        base_size = DEFAULT_SIZE
+        basis = "synthetic relation size"
+    threshold = BOUND_BLOWUP_FACTOR * base_size
     # (plain rule to price, needed override, anchor predicate, span)
     try:
         adorned = adorn(program)
@@ -543,7 +564,7 @@ def _check_bound_blowup(program: Program, diags: list) -> None:
     for rule, anchor, predicate, span in priced:
         if len(rule.body) < 2:
             continue
-        bound = rule_intermediate_bound(rule, needed=anchor)
+        bound = rule_intermediate_bound(rule, needed=anchor, profiles=profiles)
         if bound <= threshold:
             continue
         if (predicate, span) in seen:
@@ -553,9 +574,9 @@ def _check_bound_blowup(program: Program, diags: list) -> None:
             _diag(
                 "DL017",
                 f"best-order intermediate bound {bound:.0f} exceeds "
-                f"{threshold} (= {BOUND_BLOWUP_FACTOR}x the synthetic "
-                f"relation size): every join order materializes a "
-                f"blown-up intermediate result",
+                f"{threshold} (= {BOUND_BLOWUP_FACTOR}x the {basis}): "
+                f"every join order materializes a blown-up "
+                f"intermediate result",
                 predicate=predicate,
                 span=span,
                 hint="split the body into rules sharing more variables, "
@@ -615,6 +636,7 @@ def lint_program(
     program: Program,
     edb: Optional[Iterable[str]] = None,
     source: str = "<program>",
+    profiles: Optional[Mapping[str, "RelationProfile"]] = None,
 ) -> LintReport:
     """Run every lint over *program* and return the report.
 
@@ -623,6 +645,11 @@ def lint_program(
     (DL005 sharpening, DL006, DL014), which are unanswerable from the
     program text alone because never-defined predicates are by
     convention assumed to be EDB relations.
+
+    *profiles* (predicate → :class:`~repro.engine.cost.RelationProfile`,
+    e.g. from :func:`repro.engine.cost.profile_database` over the
+    loaded EDB) makes DL017 price rules with **measured** degree
+    sketches instead of the synthetic defaults.
     """
     edb_set = frozenset(edb) if edb is not None else None
     diags: list[Diagnostic] = []
@@ -642,5 +669,5 @@ def lint_program(
         # accepts; with errors present the story is already told above
         _check_adornment_opportunities(program, diags)
         _check_chain_regularity(program, diags)
-        _check_bound_blowup(program, diags)
+        _check_bound_blowup(program, diags, profiles)
     return LintReport(tuple(diags), source=source)

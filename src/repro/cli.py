@@ -7,6 +7,7 @@ Usage (also via ``python -m repro``)::
     python -m repro run program.dl facts.dl -O     # ... after optimization
     python -m repro serve program.dl [facts.dl]    # incremental update session
     python -m repro lint program.dl [facts.dl]     # static diagnostics
+    python -m repro analyze program.dl [facts.dl]  # abstract interpretation
     python -m repro grammar program.dl             # chain-program/CFG view
     python -m repro explain program.dl facts.dl p "1,2"   # derivation tree
     python -m repro shell [files...]               # interactive session
@@ -332,10 +333,37 @@ def _cmd_lint(args) -> int:
     # containing facts should *lint* (DL015) instead of being rejected.
     with open(args.program) as f:
         program = parse(f.read())
-    edb = _load_facts(args.facts).predicates() if args.facts else None
-    report = lint_program(program, edb=edb, source=args.program)
+    edb = None
+    profiles = None
+    if args.facts:
+        from .engine.cost import profile_database
+
+        db = _load_facts(args.facts)
+        edb = db.predicates()
+        # with a loaded EDB, DL017 prices with measured degree
+        # profiles instead of the synthetic defaults
+        profiles = profile_database(db)
+    report = lint_program(program, edb=edb, source=args.program, profiles=profiles)
     print(report.render_json() if args.format == "json" else report.render_text())
     return report.exit_code(strict=args.strict)
+
+
+def _cmd_analyze(args) -> int:
+    from .analysis import analyze_program, load_profiles, save_profiles
+
+    # Like lint: parse directly so fact-carrying programs analyze (the
+    # in-program facts seed the sort and cardinality domains).
+    with open(args.program) as f:
+        program = parse(f.read())
+    db = _load_facts(args.facts) if args.facts else None
+    sketches = load_profiles(args.load_profiles) if args.load_profiles else None
+    result = analyze_program(
+        program, db, sketches=sketches, source=args.program
+    )
+    if args.save_profiles:
+        save_profiles(args.save_profiles, result.sketches())
+    print(result.render_json() if args.format == "json" else result.render_text())
+    return result.report.exit_code(strict=args.strict)
 
 
 def _cmd_grammar(args) -> int:
@@ -502,6 +530,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="output format (default: text)",
     )
     p_lint.set_defaults(fn=_cmd_lint)
+
+    p_ana = sub.add_parser(
+        "analyze",
+        help="abstract-interpretation analysis: sorts, degree "
+        "sketches, boundedness (no evaluation)",
+    )
+    p_ana.add_argument("program", help="Datalog program file")
+    p_ana.add_argument(
+        "facts",
+        nargs="?",
+        default=None,
+        help="optional fact file; seeds the domains with measured "
+        "sorts and degree sketches",
+    )
+    p_ana.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat warnings as errors (exit code 2)",
+    )
+    p_ana.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    p_ana.add_argument(
+        "--save-profiles",
+        metavar="FILE",
+        default=None,
+        help="persist the computed degree sketches as JSON",
+    )
+    p_ana.add_argument(
+        "--load-profiles",
+        metavar="FILE",
+        default=None,
+        help="pre-seed the cardinality domain from persisted sketches",
+    )
+    p_ana.set_defaults(fn=_cmd_analyze)
 
     p_gram = sub.add_parser("grammar", help="chain-program / CFG view")
     p_gram.add_argument("program")

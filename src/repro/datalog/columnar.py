@@ -40,7 +40,7 @@ from __future__ import annotations
 
 import threading
 from array import array
-from typing import Iterable, Optional, Sequence
+from typing import Any, Iterable, Optional, Sequence
 
 try:  # numpy is optional; column arrays fall back to array('q')
     import numpy as _np
@@ -239,7 +239,7 @@ class ColumnStore:
         #: entirely; only the (rare) maybe-present candidates pay a
         #: precise run probe.  Rebuilt alongside the runs and grown
         #: whenever occupancy drops below ~8 bits per key.
-        self._bloom = None
+        self._bloom: Any = None
         self._bloom_log2: int = 0
         #: per-position CSR probe images for the vectorized kernels,
         #: keyed by bound position and stamped with the relation
@@ -399,6 +399,37 @@ class ColumnStore:
                         posting.append(enc)
             self._pending = []
             self._pending_rows = 0
+
+    def profile(self) -> tuple[int, tuple[int, ...]]:
+        """Measured degree profile: ``(row count, per-position max
+        degree)`` — the largest number of rows any single value matches
+        at each position.
+
+        Reads already-built single-position postings when present
+        (their posting lengths *are* the degrees); otherwise one
+        counting pass over the dense dictionary-encoded column — no
+        new postings are materialized and no constants are interned,
+        so profiling never perturbs the dictionary or the relation's
+        index-build counters.
+        """
+        self.flush()
+        degrees: list[int] = []
+        for p in range(self.arity):
+            postings = self._postings.get((p,))
+            if postings is not None:
+                degrees.append(
+                    max((len(rows) for rows in postings.values()), default=0)
+                )
+                continue
+            counts: dict[int, int] = {}
+            best = 0
+            for c in self.columns[p]:
+                n = counts.get(c, 0) + 1
+                counts[c] = n
+                if n > best:
+                    best = n
+            degrees.append(best)
+        return len(self.row_set), tuple(degrees)
 
     # -- probes -------------------------------------------------------------
 

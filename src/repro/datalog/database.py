@@ -384,6 +384,47 @@ class Relation:
             store.flush()
         return store
 
+    def degree_profile(self) -> tuple[int, tuple[int, ...]]:
+        """Measured ``(row count, per-position max degree)`` statistics.
+
+        Degrees are read from whatever structure is already paid for:
+        an existing single-position hash index (posting lengths), the
+        current-epoch columnar store's dictionary/posting image
+        (:meth:`ColumnStore.profile`), or one counting pass over the
+        raw rows.  Crucially this never *builds* a store or an index —
+        profiling must not intern constants or bump the index-build
+        counters, so the engine's work statistics are identical with
+        and without profiling.
+        """
+        store = self._store
+        if store is not None and store.epoch == global_dictionary().epoch:
+            # a current-epoch store is maintained on every insert, so
+            # it is complete even while raw materialization is deferred
+            return store.profile()
+        if self._raw_dirty:
+            self._sync()
+        rows = self._rows
+        n = len(rows)
+        degrees: list[int] = []
+        for p in range(self.arity):
+            if not self._index_dirty:
+                index = self._indexes.get((p,))
+                if index is not None:
+                    degrees.append(
+                        max((len(v) for v in index.values()), default=0)
+                    )
+                    continue
+            counts: dict = {}
+            best = 0
+            for row in rows:
+                v = row[p]
+                c = counts.get(v, 0) + 1
+                counts[v] = c
+                if c > best:
+                    best = c
+            degrees.append(best)
+        return n, tuple(degrees)
+
     def _store_for_packed(self) -> ColumnStore:
         """The store for the vectorized absorb path: current-epoch and
         privatized, but **without** flushing pending packed rows (the

@@ -65,7 +65,7 @@ from __future__ import annotations
 
 from typing import Iterable, Mapping, Optional, Sequence
 
-from ..datalog.ast import Atom
+from ..datalog.ast import Atom, Rule
 from ..datalog.database import Database
 from ..datalog.terms import Constant, Variable
 
@@ -158,13 +158,20 @@ def profile_database(
         rel = db.relation(pred)
         if rel is None:
             continue
-        n = (sizes or {}).get(pred, len(rel))
-        profile = RelationProfile.from_rows(list(rel), rel.arity, n)
-        if not len(rel):
+        count, degrees = rel.degree_profile()
+        n = (sizes or {}).get(pred, count)
+        if count:
+            profile = RelationProfile(
+                bucket_size(n), tuple(bucket_size(d) for d in degrees)
+            )
+        else:
             # nothing stored yet (typically an IDB predicate before the
             # fixpoint): assume the worst degree — any value may repeat
             # up to the full assumed size
-            profile.degree = tuple(profile.size for _ in range(rel.arity))
+            size = bucket_size(n)
+            profile = RelationProfile(
+                size, tuple(size for _ in range(rel.arity))
+            )
         out[pred] = profile
     return out
 
@@ -327,7 +334,7 @@ class BoundCostModel(CostModel):
         return best[full][2]
 
 
-def _component_vars(atom, relational) -> frozenset:
+def _component_vars(atom: Atom, relational: Sequence[Atom]) -> frozenset:
     """Variables of *atom*'s weakly-connected body component: the
     closure of variable sharing among *relational*.  A component whose
     closure misses every needed variable is a pure existential
@@ -348,8 +355,12 @@ def _component_vars(atom, relational) -> frozenset:
     return frozenset(component)
 
 
-def rule_intermediate_bound(rule, needed=None) -> float:
-    """The static (no-EDB) intermediate-result bound of *rule*.
+def rule_intermediate_bound(
+    rule: Rule,
+    needed: Optional[Iterable[Variable]] = None,
+    profiles: Optional[Mapping[str, RelationProfile]] = None,
+) -> float:
+    """The static intermediate-result bound of *rule*.
 
     *needed*, when given, replaces the head variables as the set a
     result row must carry (callers pricing an **adorned** rule pass
@@ -357,16 +368,23 @@ def rule_intermediate_bound(rule, needed=None) -> float:
     components are priced as the cut the optimizer will apply);
     variables of negated literals and builtins are always added.
 
-    Every body predicate is assumed to hold :data:`DEFAULT_SIZE` rows
-    with per-position degree :data:`DEFAULT_FANOUT` (a mildly skewed
-    relation); the bound reported is the **largest intermediate
-    cardinality along the best order** the DP finds.  Chains stay
-    near ``DEFAULT_SIZE`` (each step multiplies by the fanout at
-    most), purely existential components collapse to 1 — the
-    Lemma 3.1 cut retires them as boolean subqueries before the join
-    ever runs, so they are dropped from the priced body outright —
-    and bodies that force a *needed* Cartesian product blow up
-    multiplicatively, which is exactly what lint DL017 flags.
+    Without *profiles* every body predicate is assumed to hold
+    :data:`DEFAULT_SIZE` rows with per-position degree
+    :data:`DEFAULT_FANOUT` (a mildly skewed relation).  *profiles*
+    (predicate → :class:`RelationProfile`, looked up by the literal's
+    name and then by its unmangled base name so adorned rules price
+    their EDB literals) replaces the synthetic default with
+    **measured** statistics for the predicates it covers — the DL017
+    lint passes the loaded EDB's profile when one is available.
+
+    The bound reported is the **largest intermediate cardinality along
+    the best order** the DP finds.  Chains stay near the relation
+    size (each step multiplies by the fanout at most), purely
+    existential components collapse to 1 — the Lemma 3.1 cut retires
+    them as boolean subqueries before the join ever runs, so they are
+    dropped from the priced body outright — and bodies that force a
+    *needed* Cartesian product blow up multiplicatively, which is
+    exactly what lints DL017/DL021 flag.
     """
     from ..datalog.builtins import is_builtin
 
@@ -392,16 +410,25 @@ def rule_intermediate_bound(rule, needed=None) -> float:
     if not relational:
         # the whole body is existential: one boolean membership test
         return 1.0
-    profiles = {
-        a.predicate: RelationProfile(
+
+    def profile_for(a: Atom) -> RelationProfile:
+        if profiles:
+            found = profiles.get(a.predicate)
+            if found is None:
+                # adorned literals carry mangled base@ad names; the
+                # measured profile lives under the base name
+                from ..core.adornment import split_adorned
+
+                found = profiles.get(split_adorned(a.predicate)[0])
+            if found is not None:
+                return found
+        return RelationProfile(
             DEFAULT_SIZE, tuple(DEFAULT_FANOUT for _ in a.args)
         )
-        for a in relational
-    }
-    model = BoundCostModel(profiles)
-    needed = needed_seed
+
+    model = BoundCostModel({a.predicate: profile_for(a) for a in relational})
     order = model.order_remaining(
-        relational, tuple(range(len(relational))), frozenset(), needed
+        relational, tuple(range(len(relational))), frozenset(), needed_seed
     )
     if order is None:  # body too wide for the DP: greedy body order
         order = tuple(range(len(relational)))
@@ -413,7 +440,7 @@ def rule_intermediate_bound(rule, needed=None) -> float:
         matches = model.literal_bound(atom, frozenset(bound_vars))
         new_vars = {v for v in atom.args if isinstance(v, Variable)} - bound_vars
         if new_vars:
-            later = set(needed)
+            later = set(needed_seed)
             for j in order[pos + 1:]:
                 later.update(
                     v for v in relational[j].args if isinstance(v, Variable)
@@ -498,8 +525,8 @@ class AdaptiveReplanner:
         round, degrees are not.)  Skips are decided from relation
         lengths and frontier history only, both bit-identical across
         execution tiers, so all tiers skip identically."""
-        sizes = {}
-        names = []
+        sizes: dict[str, int] = {}
+        names: list[str] = []
         for pred in predicates:
             rel = db.relation(pred)
             if rel is None:

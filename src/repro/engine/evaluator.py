@@ -36,7 +36,7 @@ from ..datalog.columnar import global_dictionary
 from ..datalog.database import Database
 from ..datalog.errors import EvaluationError, ValidationError
 from ..datalog.terms import Constant, Variable
-from .cost import BoundCostModel
+from .cost import BoundCostModel, profile_database
 from .faults import FaultInjector, FaultPlan, SchedulerFault
 from .governor import BudgetExceeded, Governor, ResourceExhausted
 from .prepared import PreparedProgram, prepare
@@ -290,6 +290,8 @@ def evaluate(
     program: Program,
     edb: Database,
     options: Optional[EngineOptions] = None,
+    *,
+    analysis=None,
 ) -> EvalResult:
     """Compute the least fixpoint of *program* over *edb*.
 
@@ -301,6 +303,16 @@ def evaluate(
     same database starts warm instead of rebuilding every index from
     scratch.  Facts already present for derived predicates are kept
     (the uniform-equivalence input convention).
+
+    *analysis* (an :class:`repro.analysis.absint.AnalysisResult`)
+    overlays the analyzer's propagated degree sketches onto the cost
+    planner's profile: derived predicates are planned with their
+    estimated fixpoint sizes and degrees instead of the worst-case
+    "larger than anything stored" default.  The sketch signatures flow
+    into the model's :meth:`~repro.engine.cost.BoundCostModel.signature`
+    and therefore into the prepared-program cache key, so analysis-fed
+    and default plans never collide in the cache.  Join order never
+    changes answers or fact counts — only work counters move.
     """
     opts = options or EngineOptions()
     program.validate()
@@ -344,9 +356,17 @@ def evaluate(
     largest = max(sizes.values(), default=0)
     for pred in program.idb_predicates():
         sizes[pred] = max(sizes.get(pred, 0), largest + 1)
-    cost_model = (
-        BoundCostModel.from_database(db, sizes) if opts.use_cost_planner else None
-    )
+    cost_model = None
+    if opts.use_cost_planner:
+        profiles = profile_database(db, sizes)
+        if analysis is not None:
+            # measured EDB profiles stay authoritative; the analyzer
+            # refines only the derived predicates it propagated
+            idb = program.idb_predicates()
+            for pred, profile in analysis.cost_profiles().items():
+                if pred in idb:
+                    profiles[pred] = profile
+        cost_model = BoundCostModel(profiles)
     prepared = prepare(program, sizes, cost_model=cost_model)
     # recorded on the preparation, not the call, so a prepared-cache
     # hit reports exactly the counters of the cold build it reuses

@@ -46,7 +46,7 @@ from typing import Mapping, Optional
 from ..datalog.analysis import DependencyInfo, analyze, stratify
 from ..datalog.ast import Program
 from ..datalog.errors import ValidationError
-from .cost import bucket_size
+from .cost import CostModel, bucket_size
 from .plan import CompiledRule, compile_rule
 
 __all__ = [
@@ -126,7 +126,7 @@ def _build(
     program: Program,
     sizes: Optional[Mapping[str, int]],
     key: tuple,
-    cost_model=None,
+    cost_model: Optional[CostModel] = None,
 ) -> PreparedProgram:
     fact_rules: list[tuple[str, tuple]] = []
     compiled: list[CompiledRule] = []
@@ -166,7 +166,7 @@ def prepare(
     program: Program,
     sizes: Optional[Mapping[str, int]] = None,
     *,
-    cost_model=None,
+    cost_model: Optional[CostModel] = None,
     use_cache: bool = True,
 ) -> PreparedProgram:
     """Return the (possibly cached) :class:`PreparedProgram`.

@@ -11,6 +11,7 @@ answered immediately.  Dot-commands inspect and transform the session:
 ``.rules``         list the current rules
 ``.facts [pred]``  list facts (optionally one predicate)
 ``.optimize``      show the optimization pipeline for the last query
+``.analyze``       abstract-interpretation report over the loaded EDB
 ``.explain p 1,2`` print the derivation tree of a fact
 ``.stats``         work counters of the last evaluation
 ``.strata``        stratification of the current rules
@@ -119,6 +120,7 @@ class Shell:
             ".facts": self._cmd_facts,
             ".optimize": self._cmd_optimize,
             ".lint": self._cmd_lint,
+            ".analyze": self._cmd_analyze,
             ".explain": self._cmd_explain,
             ".stats": self._cmd_stats,
             ".strata": self._cmd_strata,
@@ -164,6 +166,16 @@ class Shell:
             source="<shell>",
         )
         self._print(report.render_text())
+
+    def _cmd_analyze(self, args) -> None:
+        from .analysis import analyze_program
+
+        result = analyze_program(
+            self._program(self.last_query),
+            self.db,
+            source="<shell>",
+        )
+        self._print(result.render_text())
 
     def _cmd_explain(self, args) -> None:
         if len(args) != 2:
@@ -236,7 +248,7 @@ class Shell:
     def _cmd_help(self, args) -> None:
         self._print(
             "statements: rules (p(X) :- q(X).), facts (edge(1,2).), queries (?- p(X).)",
-            "commands: .rules .facts .optimize .lint .explain .stats .strata .load .save .clear .quit",
+            "commands: .rules .facts .optimize .lint .analyze .explain .stats .strata .load .save .clear .quit",
         )
 
 

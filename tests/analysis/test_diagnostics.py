@@ -8,7 +8,7 @@ from repro.datalog import Span
 
 class TestCodeRegistry:
     def test_codes_are_contiguous_and_ordered(self):
-        expected = [f"DL{i:03d}" for i in range(1, 18)]
+        expected = [f"DL{i:03d}" for i in range(1, 25)]
         assert list(CODES) == expected
 
     def test_names_unique(self):

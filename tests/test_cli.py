@@ -511,3 +511,87 @@ class TestServe:
         out = capsys.readouterr().out.splitlines()
         assert out[0].startswith("ok ")
         assert "ok checkpoint seq=1" in out
+
+
+MISMATCH = """
+    a(1).
+    b('x').
+    p(X) :- a(X), b(X).
+    ?- p(X).
+"""
+
+
+class TestAnalyze:
+    @pytest.fixture
+    def analyze_files(self, tmp_path):
+        program = tmp_path / "program.dl"
+        program.write_text(PROGRAM)
+        facts = tmp_path / "facts.dl"
+        facts.write_text(FACTS)
+        mismatch = tmp_path / "mismatch.dl"
+        mismatch.write_text(MISMATCH)
+        return program, facts, mismatch
+
+    def test_text_report_with_domain_summary(self, analyze_files, capsys):
+        program, facts, _ = analyze_files
+        assert main(["analyze", str(program), str(facts)]) == 0
+        out = capsys.readouterr().out
+        assert "domains:" in out
+        assert "measured" in out
+
+    def test_json_covers_all_three_domains(self, analyze_files, capsys):
+        import json
+
+        program, facts, _ = analyze_files
+        assert main(["analyze", str(program), str(facts), "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert set(data["domains"]) == {"sorts", "cardinality", "boundedness"}
+        assert data["measured"] is True
+        # the stored EDB relation carries a measured sketch...
+        edge = data["domains"]["cardinality"]["edge"]
+        assert edge["measured"] is True
+        # ...the derived predicates carry sorts and boundedness verdicts
+        assert "reach" in data["domains"]["sorts"]
+        assert data["domains"]["boundedness"]["reach"]["derivable"] is True
+
+    def test_json_without_facts_is_synthetic(self, analyze_files, capsys):
+        import json
+
+        program, _, _ = analyze_files
+        assert main(["analyze", str(program), "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["measured"] is False
+        assert data["domains"]["cardinality"]["edge"]["measured"] is False
+
+    def test_sort_mismatch_warns_and_fails_strict(self, analyze_files, capsys):
+        _, _, mismatch = analyze_files
+        assert main(["analyze", str(mismatch)]) == 0
+        out = capsys.readouterr().out
+        assert "DL019" in out
+        assert main(["analyze", str(mismatch), "--strict"]) == 2
+
+    def test_profile_save_load_round_trip(self, analyze_files, tmp_path, capsys):
+        import json
+
+        program, facts, _ = analyze_files
+        profiles = tmp_path / "profiles.json"
+        assert main(
+            ["analyze", str(program), str(facts),
+             "--save-profiles", str(profiles)]
+        ) == 0
+        saved = json.loads(profiles.read_text())
+        assert saved["version"] == 1
+        assert saved["sketches"]["edge"]["measured"] is True
+        capsys.readouterr()
+        # re-analyze without the facts file: the loaded sketches keep
+        # the cardinality domain measured
+        assert main(
+            ["analyze", str(program), "--format", "json",
+             "--load-profiles", str(profiles)]
+        ) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["domains"]["cardinality"]["edge"]["measured"] is True
+
+    def test_missing_file(self, capsys):
+        assert main(["analyze", "/nonexistent.dl"]) == 2
+        assert "error" in capsys.readouterr().err

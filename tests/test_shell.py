@@ -150,3 +150,32 @@ class TestShellObject:
         shell = Shell(out=io.StringIO())
         assert shell.handle("e(1).") is True
         assert shell.handle(".quit") is False
+
+
+class TestAnalyzeCommand:
+    def test_analyze_reports_measured_domains(self):
+        output = run(
+            [
+                "edge(1, 2).",
+                "edge(2, 3).",
+                "tc(X, Y) :- edge(X, Y).",
+                "tc(X, Y) :- edge(X, Z), tc(Z, Y).",
+                ".analyze",
+            ]
+        )
+        assert "domains:" in output
+        assert "measured" in output
+
+    def test_analyze_flags_sort_conflicts(self):
+        output = run(
+            [
+                "a(1).",
+                "b('x').",
+                "p(X) :- a(X), b(X).",
+                ".analyze",
+            ]
+        )
+        assert "DL019" in output
+
+    def test_analyze_listed_in_help(self):
+        assert ".analyze" in run([".help"])
